@@ -1,0 +1,113 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   section as a plain-text table (see DESIGN.md §5 for the experiment
+   index) and, with [--micro], runs Bechamel micro-benchmarks of the core
+   algorithms. *)
+
+let figures = ref [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "ablation"; "dynamic"; "batch"; "delay"; "tables" ]
+let seed = ref 1
+let requests = ref None
+let micro = ref false
+let csv_dir = ref None
+
+let specs =
+  [
+    ( "--figure",
+      Arg.String (fun s -> figures := [ String.lowercase_ascii s ]),
+      "FIG  run one figure: fig5..fig9, ablation, dynamic, batch, delay, tables, all" );
+    ("--seed", Arg.Set_int seed, "N  random seed (default 1)");
+    ( "--requests",
+      Arg.Int (fun n -> requests := Some n),
+      "N  requests per data point (defaults are figure-specific)" );
+    ("--micro", Arg.Set micro, " also run Bechamel micro-benchmarks");
+    ( "--csv",
+      Arg.String (fun d -> csv_dir := Some d),
+      "DIR  also write each figure as DIR/<id>.csv" );
+  ]
+
+let usage = "main.exe [--figure FIG] [--seed N] [--requests N] [--micro] [--csv DIR]"
+
+let run_figure name =
+  let seed = !seed in
+  let figs =
+    match name with
+    | "fig5" -> Experiments.Fig5.run ~seed ?requests:!requests ()
+    | "fig6" -> Experiments.Fig6.run ~seed ?requests:!requests ()
+    | "fig7" -> Experiments.Fig7.run ~seed ?requests:!requests ()
+    | "fig8" -> Experiments.Fig8.run ~seed ?requests:!requests ()
+    | "fig9" -> Experiments.Fig9.run ~seed ?requests:!requests ()
+    | "ablation" -> Experiments.Ablation.run ~seed ()
+    | "dynamic" -> Experiments.Dynamic_load.run ~seed ?arrivals:!requests ()
+    | "batch" -> Experiments.Batch_order.run ~seed ()
+    | "delay" -> Experiments.Delay_exp.run ~seed ?requests:!requests ()
+    | "tables" -> Experiments.Table_exp.run ~seed ?requests:!requests ()
+    | other ->
+      Printf.eprintf "unknown figure %S\n" other;
+      exit 2
+  in
+  Experiments.Exp_common.render_all Format.std_formatter figs;
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    List.iter
+      (fun f -> ignore (Experiments.Exp_common.write_csv ~dir f))
+      figs
+
+let micro_benchmarks () =
+  let open Bechamel in
+  let rng = Topology.Rng.create 7 in
+  let net50 = Experiments.Exp_common.network rng ~n:50 in
+  let net150 = Experiments.Exp_common.network rng ~n:150 in
+  let req50 = Workload.Gen.request rng net50 ~id:0 in
+  let req150 = Workload.Gen.request rng net150 ~id:0 in
+  let g150 = Sdn.Network.graph net150 in
+  let weight e = Sdn.Network.link_unit_cost net150 e in
+  let terminals =
+    req150.Sdn.Request.source :: req150.Sdn.Request.destinations
+  in
+  let tests =
+    Test.make_grouped ~name:"nfv-multicast"
+      [
+        Test.make ~name:"dijkstra-n150"
+          (Staged.stage (fun () ->
+               ignore (Mcgraph.Paths.dijkstra g150 ~weight ~source:0)));
+        Test.make ~name:"kmb-steiner-n150"
+          (Staged.stage (fun () ->
+               ignore (Mcgraph.Steiner.kmb g150 ~weight ~terminals)));
+        Test.make ~name:"appro-multi-k3-n50"
+          (Staged.stage (fun () ->
+               ignore (Nfv_multicast.Appro_multi.solve ~k:3 net50 req50)));
+        Test.make ~name:"one-server-n150"
+          (Staged.stage (fun () ->
+               ignore (Nfv_multicast.One_server.solve net150 req150)));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  print_endline "== Bechamel micro-benchmarks (monotonic clock, per run) ==";
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> Printf.printf "%-36s %12.1f ns\n" name est
+      | _ -> Printf.printf "%-36s (no estimate)\n" name)
+    results
+
+let () =
+  Arg.parse specs (fun s -> figures := [ String.lowercase_ascii s ]) usage;
+  let names =
+    match !figures with
+    | [ "all" ] ->
+      [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "ablation"; "dynamic"; "batch"; "delay"; "tables" ]
+    | names -> names
+  in
+  let _, elapsed =
+    Experiments.Exp_common.time_of (fun () -> List.iter run_figure names)
+  in
+  Printf.printf "# total experiment CPU time: %.1f s\n%!" elapsed;
+  if !micro then micro_benchmarks ()

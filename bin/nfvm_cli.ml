@@ -1,0 +1,205 @@
+(* nfvm — command-line frontend for the NFV-enabled multicasting library:
+   regenerate any of the paper's figures, solve a single request, or run
+   an online admission race on a chosen topology. *)
+
+open Cmdliner
+
+(* ---------- shared options ---------- *)
+
+let seed_arg =
+  let doc = "Random seed (all runs are deterministic per seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let requests_arg =
+  let doc = "Requests per data point / sequence length (figure-specific default)." in
+  Arg.(value & opt (some int) None & info [ "requests" ] ~docv:"N" ~doc)
+
+let topology_arg =
+  let doc =
+    "Topology: geant, as1755, as4755, fat-tree:K, waxman:N, transit-stub:N."
+  in
+  Arg.(value & opt string "waxman:50" & info [ "topology" ] ~docv:"SPEC" ~doc)
+
+let k_arg =
+  let doc = "Maximum number of servers per service chain (K)." in
+  Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc)
+
+let parse_topology rng spec =
+  match String.split_on_char ':' spec with
+  | [ "geant" ] ->
+    (Topology.Geant.topology (), Some Topology.Geant.default_servers)
+  | [ "as1755" ] -> (Topology.Rocketfuel.as1755 (), None)
+  | [ "as4755" ] -> (Topology.Rocketfuel.as4755 (), None)
+  | [ "fat-tree"; k ] ->
+    let k = int_of_string k in
+    let aggs = Topology.Fat_tree.aggregation_switches ~k in
+    let servers = List.filteri (fun i _ -> i mod (k / 2) = 0) aggs in
+    (Topology.Fat_tree.generate ~k (), Some servers)
+  | [ "waxman"; n ] ->
+    (Experiments.Exp_common.gtitm_like rng ~n:(int_of_string n), None)
+  | [ "transit-stub"; n ] ->
+    (Topology.Transit_stub.generate_sized rng ~n:(int_of_string n), None)
+  | _ -> failwith ("unknown topology spec: " ^ spec)
+
+let make_network rng spec =
+  let topo, servers = parse_topology rng spec in
+  match servers with
+  | Some servers -> Sdn.Network.make ~rng ~servers topo
+  | None -> Sdn.Network.make_random_servers ~fraction:0.1 ~rng topo
+
+(* ---------- figure commands ---------- *)
+
+let run_figures figs = Experiments.Exp_common.render_all Format.std_formatter figs
+
+let figure_cmd name doc run =
+  let action seed requests = run_figures (run ~seed ?requests ()) in
+  Cmd.v (Cmd.info name ~doc) Term.(const action $ seed_arg $ requests_arg)
+
+let fig5_cmd =
+  figure_cmd "fig5" "Fig. 5: Appro_Multi vs Alg_One_Server on random networks"
+    (fun ~seed ?requests () -> Experiments.Fig5.run ~seed ?requests ())
+
+let fig6_cmd =
+  figure_cmd "fig6" "Fig. 6: Appro_Multi vs Alg_One_Server in GEANT and AS1755"
+    (fun ~seed ?requests () -> Experiments.Fig6.run ~seed ?requests ())
+
+let fig7_cmd =
+  figure_cmd "fig7" "Fig. 7: Appro_Multi_Cap under capacity constraints"
+    (fun ~seed ?requests () -> Experiments.Fig7.run ~seed ?requests ())
+
+let fig8_cmd =
+  figure_cmd "fig8" "Fig. 8: Online_CP vs SP across network sizes"
+    (fun ~seed ?requests () -> Experiments.Fig8.run ~seed ?requests ())
+
+let fig9_cmd =
+  figure_cmd "fig9" "Fig. 9: Online_CP vs SP in GEANT and AS1755"
+    (fun ~seed ?requests () -> Experiments.Fig9.run ~seed ?requests ())
+
+let ablation_cmd =
+  let doc = "Ablations: cost model (A1) and K sweep (A2)." in
+  let action seed = run_figures (Experiments.Ablation.run ~seed ()) in
+  Cmd.v (Cmd.info "ablation" ~doc) Term.(const action $ seed_arg)
+
+let dynamic_cmd =
+  let doc = "Extension: acceptance under request departures vs offered load." in
+  let action seed requests =
+    run_figures (Experiments.Dynamic_load.run ~seed ?arrivals:requests ())
+  in
+  Cmd.v (Cmd.info "dynamic" ~doc) Term.(const action $ seed_arg $ requests_arg)
+
+let batch_cmd =
+  let doc = "Extension: offline batch admission order comparison." in
+  let action seed = run_figures (Experiments.Batch_order.run ~seed ()) in
+  Cmd.v (Cmd.info "batch" ~doc) Term.(const action $ seed_arg)
+
+let delay_cmd =
+  let doc = "Extension: delay-bounded admission vs deadline tightness." in
+  let action seed requests =
+    run_figures (Experiments.Delay_exp.run ~seed ?requests ())
+  in
+  Cmd.v (Cmd.info "delay" ~doc) Term.(const action $ seed_arg $ requests_arg)
+
+let tables_cmd =
+  let doc = "Extension: per-switch forwarding-table budgets." in
+  let action seed requests =
+    run_figures (Experiments.Table_exp.run ~seed ?requests ())
+  in
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const action $ seed_arg $ requests_arg)
+
+let all_cmd =
+  let doc = "Every figure and ablation (the full reproduction run)." in
+  let action seed =
+    run_figures (Experiments.Fig5.run ~seed ());
+    run_figures (Experiments.Fig6.run ~seed ());
+    run_figures (Experiments.Fig7.run ~seed ());
+    run_figures (Experiments.Fig8.run ~seed ());
+    run_figures (Experiments.Fig9.run ~seed ());
+    run_figures (Experiments.Ablation.run ~seed ());
+    run_figures (Experiments.Dynamic_load.run ~seed ())
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const action $ seed_arg)
+
+(* ---------- solve one request ---------- *)
+
+let solve_cmd =
+  let doc = "Solve one random NFV-enabled multicast request with Appro_Multi." in
+  let dests_arg =
+    Arg.(value & opt int 5 & info [ "destinations" ] ~docv:"N" ~doc:"Destination count.")
+  in
+  let action seed topo_spec k dests =
+    let rng = Topology.Rng.create seed in
+    let net = make_network rng topo_spec in
+    Format.printf "%a@." Sdn.Network.pp net;
+    let nn = Sdn.Network.n net in
+    let source = Topology.Rng.int rng nn in
+    let picks =
+      Topology.Rng.sample_without_replacement rng (min dests (nn - 1)) (nn - 1)
+    in
+    let destinations = List.map (fun i -> if i >= source then i + 1 else i) picks in
+    let request =
+      Sdn.Request.make ~id:0 ~source ~destinations
+        ~bandwidth:(Topology.Rng.float_range rng 50.0 200.0)
+        ~chain:(Sdn.Vnf.random_chain rng)
+    in
+    Format.printf "%a@." Sdn.Request.pp request;
+    (match Nfv_multicast.One_server.solve net request with
+    | Ok res ->
+      Format.printf "Alg_One_Server : cost %.2f (server %d)@."
+        res.Nfv_multicast.One_server.cost res.Nfv_multicast.One_server.server
+    | Error e -> Format.printf "Alg_One_Server : %s@." e);
+    match Nfv_multicast.Appro_multi.solve ~k net request with
+    | Ok res ->
+      let tree = res.Nfv_multicast.Appro_multi.tree in
+      Format.printf "Appro_Multi K=%d: cost %.2f, servers {%s}, %d combinations@." k
+        res.Nfv_multicast.Appro_multi.cost
+        (String.concat ","
+           (List.map string_of_int tree.Nfv_multicast.Pseudo_tree.servers))
+        res.Nfv_multicast.Appro_multi.combinations;
+      (match Nfv_multicast.Pseudo_tree.validate net tree with
+      | Ok () -> Format.printf "validation: OK@."
+      | Error e -> Format.printf "validation: FAILED %s@." e)
+    | Error e -> Format.printf "Appro_Multi    : %s@." e
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc)
+    Term.(const action $ seed_arg $ topology_arg $ k_arg $ dests_arg)
+
+(* ---------- online admission race ---------- *)
+
+let admit_cmd =
+  let doc = "Race the online algorithms on an arrival sequence." in
+  let action seed topo_spec requests =
+    let count = Option.value requests ~default:500 in
+    let rng = Topology.Rng.create seed in
+    let net = make_network rng topo_spec in
+    Format.printf "%a, %d requests@.@." Sdn.Network.pp net count;
+    let reqs = Workload.Gen.sequence rng net ~count in
+    List.iter
+      (fun algo ->
+        let s = Nfv_multicast.Admission.run net algo reqs in
+        Format.printf
+          "%-18s admitted %4d/%d  acceptance %.2f  mean-util %.2f  jain %.2f  (%.2f s)@."
+          (Nfv_multicast.Admission.algorithm_to_string algo)
+          s.Nfv_multicast.Admission.admitted s.Nfv_multicast.Admission.total
+          s.Nfv_multicast.Admission.acceptance_ratio
+          s.Nfv_multicast.Admission.mean_link_utilization
+          s.Nfv_multicast.Admission.jain_fairness
+          s.Nfv_multicast.Admission.runtime_s)
+      Nfv_multicast.Admission.
+        [ Online_cp; Online_cp_no_threshold; Online_linear; Sp ]
+  in
+  Cmd.v
+    (Cmd.info "admit" ~doc)
+    Term.(const action $ seed_arg $ topology_arg $ requests_arg)
+
+let main =
+  let doc = "NFV-enabled multicasting in SDNs (ICDCS 2017 reproduction)" in
+  Cmd.group
+    (Cmd.info "nfvm" ~version:"1.0.0" ~doc)
+    [
+      fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; ablation_cmd;
+      dynamic_cmd; batch_cmd; delay_cmd; tables_cmd; all_cmd; solve_cmd;
+      admit_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

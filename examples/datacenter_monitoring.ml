@@ -1,0 +1,70 @@
+(* System monitoring in a data center (one of the multicast applications
+   the paper's introduction motivates): a k=8 fat-tree fabric where a
+   collector at one edge switch streams monitoring state to replicas at
+   other edge switches; traffic passes a <Firewall, LoadBalancer> chain.
+   Requests are admitted sequentially under capacity constraints with
+   Appro_Multi_Cap, showing residual utilisation as the fabric fills.
+
+   Run with: dune exec examples/datacenter_monitoring.exe *)
+
+let () =
+  let k = 8 in
+  let rng = Topology.Rng.create 99 in
+  let topo = Topology.Fat_tree.generate ~k () in
+  (* servers at one aggregation switch per pod *)
+  let aggs = Topology.Fat_tree.aggregation_switches ~k in
+  let servers =
+    List.filteri (fun i _ -> i mod (k / 2) = 0) aggs
+  in
+  let net = Sdn.Network.make ~rng ~servers topo in
+  Format.printf "fabric: %a (k=%d fat-tree)@." Sdn.Network.pp net k;
+
+  let edge_switches = Array.of_list (Topology.Fat_tree.edge_switches ~k) in
+  let num_edges = Array.length edge_switches in
+  let make_request id =
+    let source = edge_switches.(Topology.Rng.int rng num_edges) in
+    let replicas =
+      List.filter (fun v -> v <> source)
+        (List.map
+           (fun i -> edge_switches.(i))
+           (Topology.Rng.sample_without_replacement rng 6 num_edges))
+    in
+    Sdn.Request.make ~id ~source ~destinations:replicas
+      ~bandwidth:(Topology.Rng.float_range rng 80.0 160.0)
+      ~chain:[ Sdn.Vnf.Firewall; Sdn.Vnf.Load_balancer ]
+  in
+  let admitted = ref 0 and rejected = ref 0 in
+  for id = 0 to 119 do
+    let req = make_request id in
+    (match Nfv_multicast.Appro_multi.admit ~k:2 net req with
+    | Ok res ->
+      incr admitted;
+      if id mod 20 = 0 then
+        Format.printf
+          "  r%-3d admitted: %d dests, cost %.1f, servers {%s}, mean util %.1f%%@."
+          id
+          (Sdn.Request.terminal_count req)
+          res.Nfv_multicast.Appro_multi.cost
+          (String.concat ","
+             (List.map string_of_int
+                res.Nfv_multicast.Appro_multi.tree
+                  .Nfv_multicast.Pseudo_tree.servers))
+          (100.0 *. Sdn.Network.mean_link_utilization net)
+    | Error e ->
+      incr rejected;
+      if !rejected <= 3 then Format.printf "  r%-3d rejected (%s)@." id e)
+  done;
+  Format.printf "@.admitted %d / %d monitoring streams@." !admitted
+    (!admitted + !rejected);
+  Format.printf "final mean link utilisation : %.1f%%@."
+    (100.0 *. Sdn.Network.mean_link_utilization net);
+  Format.printf "final max  link utilisation : %.1f%%@."
+    (100.0 *. Sdn.Network.max_link_utilization net);
+  Format.printf "Jain fairness of link loads : %.3f@."
+    (Sdn.Network.jain_fairness net);
+  List.iter
+    (fun v ->
+      Format.printf "server %-3d computing: %.0f / %.0f MHz used@." v
+        (Sdn.Network.server_capacity net v -. Sdn.Network.server_residual net v)
+        (Sdn.Network.server_capacity net v))
+    (Sdn.Network.servers net)

@@ -1,0 +1,54 @@
+(* Online admission on an ISP backbone: NFV-enabled multicast requests
+   arrive one by one at the AS1755-scale topology; Online_CP (Algorithm 2,
+   with and without its σ thresholds) races the SP heuristic for network
+   throughput. Prints the admission race every 100 arrivals.
+
+   Run with: dune exec examples/online_admission.exe *)
+
+module Adm = Nfv_multicast.Admission
+
+let () =
+  let horizon = 800 in
+  let rng = Topology.Rng.create 4 in
+  let topo = Topology.Rocketfuel.as1755 () in
+  let net = Sdn.Network.make_random_servers ~fraction:0.1 ~rng topo in
+  Format.printf "backbone: %a@." Sdn.Network.pp net;
+  let requests = Workload.Gen.sequence rng net ~count:horizon in
+
+  let algos = [ Adm.Online_cp; Adm.Online_cp_no_threshold; Adm.Sp ] in
+  let stats = List.map (fun a -> (a, Adm.run net a requests)) algos in
+
+  Format.printf "@.%-10s" "arrivals";
+  List.iter
+    (fun (a, _) -> Format.printf "%20s" (Adm.algorithm_to_string a))
+    stats;
+  Format.printf "@.";
+  let checkpoints = List.init (horizon / 100) (fun i -> (i + 1) * 100) in
+  List.iter
+    (fun p ->
+      Format.printf "%-10d" p;
+      List.iter (fun (_, s) -> Format.printf "%20d" (Adm.admitted_after s p)) stats;
+      Format.printf "@.")
+    checkpoints;
+
+  Format.printf "@.final state per algorithm:@.";
+  List.iter
+    (fun (a, s) ->
+      Format.printf
+        "  %-18s admitted %3d/%d  acceptance %.2f  mean-util %.2f  jain %.2f@."
+        (Adm.algorithm_to_string a) s.Adm.admitted s.Adm.total
+        s.Adm.acceptance_ratio s.Adm.mean_link_utilization s.Adm.jain_fairness)
+    stats;
+
+  (* show a couple of rejection reasons from the thresholded run *)
+  let cp = List.assoc Adm.Online_cp stats in
+  let reasons = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Adm.record) ->
+      if not r.Adm.admitted then begin
+        let c = Option.value (Hashtbl.find_opt reasons r.Adm.detail) ~default:0 in
+        Hashtbl.replace reasons r.Adm.detail (c + 1)
+      end)
+    cp.Adm.records;
+  Format.printf "@.Online_CP rejection reasons:@.";
+  Hashtbl.iter (fun k v -> Format.printf "  %4d × %s@." v k) reasons

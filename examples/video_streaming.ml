@@ -1,0 +1,71 @@
+(* Video streaming over GÉANT: a Dublin head-end multicasts a stream to
+   European PoPs; every packet must traverse <NAT, Firewall, IDS> before
+   delivery. Compares Appro_Multi at K = 1..3 with the one-server
+   baseline and prints named per-city routes.
+
+   Run with: dune exec examples/video_streaming.exe *)
+
+let () =
+  let rng = Topology.Rng.create 7 in
+  let topo = Topology.Geant.topology () in
+  let net =
+    Sdn.Network.make ~rng ~servers:Topology.Geant.default_servers topo
+  in
+  let name v = Topology.Topo.node_name topo v in
+  let id city =
+    let rec find v =
+      if v >= Topology.Topo.n topo then failwith ("unknown city " ^ city)
+      else if name v = city then v
+      else find (v + 1)
+    in
+    find 0
+  in
+  let source = id "Dublin" in
+  let destinations =
+    List.map id
+      [ "Athens"; "Bucharest"; "Helsinki"; "Lisbon"; "Rome"; "Warsaw"; "Zurich" ]
+  in
+  let request =
+    Sdn.Request.make ~id:0 ~source ~destinations ~bandwidth:180.0
+      ~chain:[ Sdn.Vnf.Nat; Sdn.Vnf.Firewall; Sdn.Vnf.Ids ]
+  in
+  Format.printf "GÉANT streaming: %s -> %s@." (name source)
+    (String.concat ", " (List.map name destinations));
+  Format.printf "service chain: %s (%.0f MHz)@.@."
+    (Sdn.Vnf.chain_to_string request.Sdn.Request.chain)
+    (Sdn.Request.demand_mhz request);
+
+  (* baseline: one server, server-oblivious destination tree *)
+  (match Nfv_multicast.One_server.solve net request with
+  | Error e -> Format.printf "baseline failed: %s@." e
+  | Ok res ->
+    Format.printf "Alg_One_Server: cost %.2f, chain at %s@."
+      res.Nfv_multicast.One_server.cost
+      (name res.Nfv_multicast.One_server.server));
+
+  (* Appro_Multi for increasing K *)
+  List.iter
+    (fun k ->
+      match Nfv_multicast.Appro_multi.solve ~k net request with
+      | Error e -> Format.printf "K=%d failed: %s@." k e
+      | Ok res ->
+        let tree = res.Nfv_multicast.Appro_multi.tree in
+        Format.printf "Appro_Multi K=%d: cost %.2f, chain at {%s}, %d combinations@."
+          k res.Nfv_multicast.Appro_multi.cost
+          (String.concat ", "
+             (List.map name tree.Nfv_multicast.Pseudo_tree.servers))
+          res.Nfv_multicast.Appro_multi.combinations)
+    [ 1; 2; 3 ];
+
+  (* route listing for the best K = 3 solution *)
+  match Nfv_multicast.Appro_multi.solve ~k:3 net request with
+  | Error _ -> ()
+  | Ok res ->
+    Format.printf "@.routes (K=3):@.";
+    List.iter
+      (fun (d, r) ->
+        Format.printf "  %-10s via %-10s (%d + %d hops)@." (name d)
+          (name r.Nfv_multicast.Pseudo_tree.server)
+          (List.length r.Nfv_multicast.Pseudo_tree.to_server)
+          (List.length r.Nfv_multicast.Pseudo_tree.onward))
+      res.Nfv_multicast.Appro_multi.tree.Nfv_multicast.Pseudo_tree.routes

@@ -1,0 +1,139 @@
+type algorithm =
+  | Online_cp
+  | Online_cp_no_threshold
+  | Online_linear
+  | Sp
+
+let algorithm_to_string = function
+  | Online_cp -> "Online_CP"
+  | Online_cp_no_threshold -> "Online_CP_noSigma"
+  | Online_linear -> "Online_Linear"
+  | Sp -> "SP"
+
+type record = {
+  request_id : int;
+  admitted : bool;
+  server : int option;
+  cost : float option;
+  detail : string;
+}
+
+type stats = {
+  algorithm : algorithm;
+  total : int;
+  admitted : int;
+  rejected : int;
+  acceptance_ratio : float;
+  mean_link_utilization : float;
+  max_link_utilization : float;
+  jain_fairness : float;
+  total_cost : float;
+  runtime_s : float;
+  records : record list;
+}
+
+let record_of_cp net request = function
+  | Online_cp.Admitted a ->
+    {
+      request_id = request.Sdn.Request.id;
+      admitted = true;
+      server = Some a.Online_cp.server;
+      cost = Some (Pseudo_tree.cost net a.Online_cp.tree);
+      detail = "";
+    }
+  | Online_cp.Rejected r ->
+    {
+      request_id = request.Sdn.Request.id;
+      admitted = false;
+      server = None;
+      cost = None;
+      detail = Online_cp.rejection_to_string r;
+    }
+
+let decide net algo request =
+  match algo with
+  | Online_cp_no_threshold ->
+    let params =
+      let p = Online_cp.default_params net in
+      { p with Online_cp.sigma_v = infinity; sigma_e = infinity }
+    in
+    record_of_cp net request (Online_cp.admit ~mode:`Exponential ~params net request)
+  | Online_cp ->
+    record_of_cp net request (Online_cp.admit ~mode:`Exponential net request)
+  | Online_linear ->
+    record_of_cp net request (Online_cp.admit ~mode:`Linear net request)
+  | Sp -> (
+    match Online_sp.admit net request with
+    | Online_sp.Admitted a ->
+      {
+        request_id = request.Sdn.Request.id;
+        admitted = true;
+        server = Some a.Online_sp.server;
+        cost = Some (Pseudo_tree.cost net a.Online_sp.tree);
+        detail = "";
+      }
+    | Online_sp.Rejected msg ->
+      {
+        request_id = request.Sdn.Request.id;
+        admitted = false;
+        server = None;
+        cost = None;
+        detail = msg;
+      })
+
+let admit_tree net algo request =
+  let of_cp = function
+    | Online_cp.Admitted a -> Ok a.Online_cp.tree
+    | Online_cp.Rejected r -> Error (Online_cp.rejection_to_string r)
+  in
+  match algo with
+  | Online_cp -> of_cp (Online_cp.admit ~mode:`Exponential net request)
+  | Online_linear -> of_cp (Online_cp.admit ~mode:`Linear net request)
+  | Online_cp_no_threshold ->
+    let params =
+      let p = Online_cp.default_params net in
+      { p with Online_cp.sigma_v = infinity; sigma_e = infinity }
+    in
+    of_cp (Online_cp.admit ~mode:`Exponential ~params net request)
+  | Sp -> (
+    match Online_sp.admit net request with
+    | Online_sp.Admitted a -> Ok a.Online_sp.tree
+    | Online_sp.Rejected msg -> Error msg)
+
+let run ?(reset = true) net algo requests =
+  if reset then Sdn.Network.reset net;
+  let started = Sys.time () in
+  let records = List.map (decide net algo) requests in
+  let runtime_s = Sys.time () -. started in
+  let admitted =
+    List.length (List.filter (fun (r : record) -> r.admitted) records)
+  in
+  let total = List.length records in
+  let total_cost =
+    List.fold_left
+      (fun acc r -> acc +. Option.value r.cost ~default:0.0)
+      0.0 records
+  in
+  {
+    algorithm = algo;
+    total;
+    admitted;
+    rejected = total - admitted;
+    acceptance_ratio =
+      (if total = 0 then 1.0 else float_of_int admitted /. float_of_int total);
+    mean_link_utilization = Sdn.Network.mean_link_utilization net;
+    max_link_utilization = Sdn.Network.max_link_utilization net;
+    jain_fairness = Sdn.Network.jain_fairness net;
+    total_cost;
+    runtime_s;
+    records;
+  }
+
+let admitted_after stats n =
+  let rec go count i = function
+    | [] -> count
+    | (r : record) :: rest ->
+      if i >= n then count
+      else go (if r.admitted then count + 1 else count) (i + 1) rest
+  in
+  go 0 0 stats.records

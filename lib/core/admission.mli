@@ -1,0 +1,53 @@
+(** Online admission simulation: feed a request sequence to an online
+    algorithm over a capacitated network and collect throughput and
+    load-balance statistics (the measurements behind Figs. 8–9). *)
+
+type algorithm =
+  | Online_cp             (** Algorithm 2, exponential cost model,
+                              literal thresholds [σ_v = σ_e = |V| − 1] *)
+  | Online_cp_no_threshold
+      (** Algorithm 2 with the admission thresholds disabled (pure
+          load-aware routing + capacity feasibility) — our measurements
+          show the literal thresholds are conservative, see
+          EXPERIMENTS.md *)
+  | Online_linear         (** Algorithm 2's structure with linear costs — ablation *)
+  | Sp                    (** shortest-path heuristic baseline *)
+
+val algorithm_to_string : algorithm -> string
+
+type record = {
+  request_id : int;
+  admitted : bool;
+  server : int option;
+  cost : float option;        (** linear implementation cost when admitted *)
+  detail : string;            (** rejection reason when rejected *)
+}
+
+type stats = {
+  algorithm : algorithm;
+  total : int;
+  admitted : int;
+  rejected : int;
+  acceptance_ratio : float;
+  mean_link_utilization : float;   (** at the end of the run *)
+  max_link_utilization : float;
+  jain_fairness : float;
+  total_cost : float;              (** Σ admitted linear costs *)
+  runtime_s : float;               (** CPU time of the whole run *)
+  records : record list;           (** in arrival order *)
+}
+
+val run : ?reset:bool -> Sdn.Network.t -> algorithm -> Sdn.Request.t list -> stats
+(** Process the sequence in order. [reset] (default [true]) restores the
+    network's residuals before starting. *)
+
+val admit_tree :
+  Sdn.Network.t -> algorithm -> Sdn.Request.t -> (Pseudo_tree.t, string) result
+(** Decide one request and return the admitted pseudo-multicast tree (the
+    network's residuals are reduced), or the rejection reason. Used by
+    the dynamic simulator, which must release the tree's allocation when
+    the request departs. *)
+
+val admitted_after : stats -> int -> int
+(** Number of admissions among the first [n] arrivals — used to draw the
+    "admitted vs number of requests" curves of Fig. 9. *)

@@ -1,0 +1,94 @@
+type result = {
+  tree : Pseudo_tree.t;
+  subset : int list;
+  aux_cost : float;
+  cost : float;
+  combinations : int;
+}
+
+let default_k = 3
+
+let candidates ?(k = default_k) ?edge_weight ?placement_cost ~keep
+    ~usable_servers net request =
+  if k < 1 then invalid_arg "Appro_multi: K must be at least 1";
+  let aux =
+    Aux_graph.build ~keep ?edge_weight ?placement_cost ~net ~request
+      ~candidate_servers:usable_servers ()
+  in
+  let reachable = Aux_graph.reachable_servers aux in
+  let found = ref [] in
+  Combinations.iter_subsets_up_to reachable k (fun subset ->
+      let sm = Aux_graph.subset_metric aux subset in
+      match Aux_graph.steiner_tree sm with
+      | None -> ()
+      | Some edges ->
+        let c = Aux_graph.tree_cost sm edges in
+        if c < infinity then found := (c, subset, aux, edges) :: !found);
+  (* deterministic order: cost, then subset size, then the subset itself
+     (equal-cost trees are common — a superset whose extra servers go
+     unused costs the same as its subset) *)
+  List.sort
+    (fun (ca, sa, _, _) (cb, sb, _, _) ->
+      compare (ca, List.length sa, sa) (cb, List.length sb, sb))
+    !found
+
+let solve_with ?k ~keep ~usable_servers net request =
+  if usable_servers = [] then Error "no usable server"
+  else
+    match candidates ?k ~keep ~usable_servers net request with
+    | [] -> Error "no feasible pseudo-multicast tree"
+    | (aux_cost, subset, aux, edges) :: _ ->
+      let tree = Aux_graph.to_pseudo_tree aux edges in
+      let combinations =
+        Combinations.count_up_to (List.length (Aux_graph.reachable_servers aux))
+          (Option.value k ~default:default_k)
+      in
+      Ok
+        {
+          tree;
+          subset = List.sort compare subset;
+          aux_cost;
+          cost = Pseudo_tree.cost net tree;
+          combinations;
+        }
+
+let solve ?k net request =
+  solve_with ?k ~keep:(fun _ -> true) ~usable_servers:(Sdn.Network.servers net)
+    net request
+
+let capacitated_filters net request =
+  let b = request.Sdn.Request.bandwidth in
+  let demand = Sdn.Request.demand_mhz request in
+  let keep e = Sdn.Network.link_admits net e b in
+  let usable =
+    List.filter (fun v -> Sdn.Network.server_admits net v demand) (Sdn.Network.servers net)
+  in
+  (keep, usable)
+
+let solve_capacitated ?k net request =
+  let keep, usable = capacitated_filters net request in
+  solve_with ?k ~keep ~usable_servers:usable net request
+
+let admit ?k net request =
+  let keep, usable = capacitated_filters net request in
+  if usable = [] then Error "no usable server"
+  else begin
+    let cands = candidates ?k ~keep ~usable_servers:usable net request in
+    let rec try_cands = function
+      | [] -> Error "no allocatable pseudo-multicast tree"
+      | (aux_cost, subset, aux, edges) :: rest -> (
+        let tree = Aux_graph.to_pseudo_tree aux edges in
+        match Sdn.Network.allocate net (Pseudo_tree.allocation tree) with
+        | Ok () ->
+          Ok
+            {
+              tree;
+              subset = List.sort compare subset;
+              aux_cost;
+              cost = Pseudo_tree.cost net tree;
+              combinations = List.length cands;
+            }
+        | Error _ -> try_cands rest)
+    in
+    try_cands cands
+  end

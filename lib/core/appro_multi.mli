@@ -1,0 +1,51 @@
+(** Algorithm 1, [Appro_Multi]: the 2K-approximation for the NFV-enabled
+    multicasting problem (§IV), and its capacity-constrained variant
+    [Appro_Multi_Cap] (§IV-C).
+
+    For every combination of at most [K] candidate servers the algorithm
+    builds the auxiliary graph [G_k^i] (see {!Aux_graph}), finds a KMB
+    Steiner tree spanning the virtual source and all destinations, and
+    keeps the cheapest tree over all combinations, mapped back to a
+    pseudo-multicast tree of the SDN. *)
+
+type result = {
+  tree : Pseudo_tree.t;
+  subset : int list;     (** the winning server combination *)
+  aux_cost : float;      (** tree cost in the auxiliary graph — the
+                             objective Algorithm 1 minimises, with its
+                             zero-cost source–server edges *)
+  cost : float;          (** honest linear implementation cost of the
+                             pseudo-multicast tree (every traversal and
+                             every placement charged); ≥ [aux_cost] *)
+  combinations : int;    (** combinations explored *)
+}
+
+val solve : ?k:int -> Sdn.Network.t -> Sdn.Request.t -> (result, string) Stdlib.result
+(** Uncapacitated [Appro_Multi] with at most [k] (default 3, as in the
+    paper's evaluation) servers per request. *)
+
+val solve_capacitated :
+  ?k:int -> Sdn.Network.t -> Sdn.Request.t -> (result, string) Stdlib.result
+(** [Appro_Multi_Cap]: links without residual bandwidth [b_k] and servers
+    without residual computing [C(SC_k)] are pruned before running
+    Algorithm 1. Does not allocate. *)
+
+val admit : ?k:int -> Sdn.Network.t -> Sdn.Request.t -> (result, string) Stdlib.result
+(** [solve_capacitated] followed by an atomic allocation of the winning
+    tree's resources. Candidate combinations are tried in cost order
+    until one fits (a tree may need [2·b_k] on an edge it traverses
+    twice, which pruning alone does not guarantee). *)
+
+val candidates :
+  ?k:int ->
+  ?edge_weight:(int -> float) ->
+  ?placement_cost:(int -> float) ->
+  keep:(int -> bool) ->
+  usable_servers:int list ->
+  Sdn.Network.t ->
+  Sdn.Request.t ->
+  (float * int list * Aux_graph.t * int list) list
+(** All feasible [(aux_cost, subset, aux, tree_edges)] candidates in
+    increasing cost order — exposed for the online multi-server variant,
+    ablations and tests. Custom prices ([edge_weight], [placement_cost])
+    replace the default linear [b_k·c_e] / [c_v(SC_k)] objective. *)

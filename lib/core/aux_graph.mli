@@ -1,0 +1,98 @@
+(** The auxiliary undirected graph [G_k^i] of Algorithm 1 (§IV-B).
+
+    For a request [r_k] the extended graph adds a virtual source [s'_k]
+    and one virtual edge [(s'_k, v)] per candidate server [v], weighted
+    [b_k·d_G(s_k, v) + c_v(SC_k)]; base edges cost [b_k·c_e]; edges
+    [(s_k, v)] with [v] in the chosen server combination cost zero.
+
+    Instead of materialising one graph per server combination and
+    re-running Dijkstra (the naive [O(|V_S|^K)] Dijkstra blow-up), the
+    module computes all-pairs shortest paths on the base graph once and
+    evaluates each combination's metric exactly through a {e hub
+    decomposition}: every special edge (virtual or zeroed) is incident
+    to [s_k] or [s'_k], so any shortest path is base legs stitched at the
+    hubs [{s_k, s'_k} ∪ subset]. A small Floyd–Warshall over the hubs
+    yields exact distances and reconstructible paths. Tests check this
+    against Dijkstra on a materialised auxiliary graph. *)
+
+type t
+
+val build :
+  ?keep:(int -> bool) ->
+  ?edge_weight:(int -> float) ->
+  ?placement_cost:(int -> float) ->
+  net:Sdn.Network.t ->
+  request:Sdn.Request.t ->
+  candidate_servers:int list ->
+  unit ->
+  t
+(** [keep] filters usable base edges (capacity pruning); default keeps
+    all. [edge_weight] prices a base edge (default [b_k·c_e] — override
+    with exponential weights for online use); [placement_cost] prices a
+    server (default [c_v(SC_k)]). [candidate_servers] are the servers
+    considered for hosting the chain (already filtered for computing
+    capacity by the caller). *)
+
+val ext_graph : t -> Mcgraph.Graph.t
+(** Base graph plus virtual node and virtual edges; base edge ids are
+    preserved. *)
+
+val virtual_node : t -> int
+
+val base_edge_count : t -> int
+(** Edges with id below this bound are base edges. *)
+
+val is_virtual_edge : t -> int -> bool
+
+val server_of_virtual_edge : t -> int -> int
+
+val virtual_edge_of_server : t -> int -> int option
+
+val virtual_edge_weight : t -> int -> float
+(** [b_k·d(s_k, v) + c_v(SC_k)] for a candidate server; [infinity] when
+    the server is unreachable from the source. *)
+
+val reachable_servers : t -> int list
+(** Candidate servers with finite virtual-edge weight. *)
+
+val base_dist : t -> int -> int -> float
+(** Shortest-path distance in the (pruned) base graph, in units of
+    [b_k·c_e]. *)
+
+val base_path : t -> int -> int -> int list option
+
+type subset_metric
+(** The exact metric of [G_k^i] for one server combination. *)
+
+val subset_metric : t -> int list -> subset_metric
+(** Raises [Invalid_argument] if the subset contains a non-candidate. *)
+
+val weight : subset_metric -> int -> float
+(** Per-edge weight of the auxiliary graph under this combination
+    ([infinity] for pruned base edges and other combinations' virtual
+    edges; [0] for zeroed source–server edges). *)
+
+val dist : subset_metric -> int -> int -> float
+(** Exact shortest-path distance in [G_k^i] between any two extended
+    nodes (the virtual node included). *)
+
+val path : subset_metric -> int -> int -> int list option
+(** Edge ids realising [dist], in travel order. *)
+
+val steiner_tree : subset_metric -> int list option
+(** KMB Steiner tree spanning [{s'_k} ∪ D_k] in [G_k^i]; [None] when a
+    terminal is unreachable. *)
+
+val tree_cost : subset_metric -> int list -> float
+(** Cost of an edge set under this combination's weights. *)
+
+val to_pseudo_tree : t -> int list -> Pseudo_tree.t
+(** Map an auxiliary Steiner tree (rooted at the virtual source) back to
+    a pseudo-multicast tree of the SDN: virtual edges expand into
+    shortest source → server paths, witnesses are read off the tree.
+    Raises [Invalid_argument] if the edge set is not a tree rooted at
+    the virtual source spanning all destinations. *)
+
+val materialize : t -> subset:int list -> Mcgraph.Graph.t * (int -> float)
+(** A concrete copy of [G_k^i] with its weight function — used by tests
+    to validate [dist] against a plain Dijkstra. *)

@@ -1,0 +1,72 @@
+type order =
+  | Arrival
+  | Smallest_first
+  | Largest_first
+  | Cheapest_first
+
+let order_to_string = function
+  | Arrival -> "arrival"
+  | Smallest_first -> "smallest-first"
+  | Largest_first -> "largest-first"
+  | Cheapest_first -> "cheapest-first"
+
+type result = {
+  order : order;
+  admitted : int;
+  rejected : int;
+  total_cost : float;
+  mean_link_utilization : float;
+  trees : (int * Pseudo_tree.t) list;
+}
+
+let footprint r =
+  r.Sdn.Request.bandwidth *. float_of_int (Sdn.Request.terminal_count r)
+
+let reorder ?k net requests = function
+  | Arrival -> requests
+  | Smallest_first ->
+    List.stable_sort (fun a b -> compare (footprint a) (footprint b)) requests
+  | Largest_first ->
+    List.stable_sort (fun a b -> compare (footprint b) (footprint a)) requests
+  | Cheapest_first ->
+    let priced =
+      List.map
+        (fun r ->
+          let price =
+            match Appro_multi.solve ?k net r with
+            | Ok res -> res.Appro_multi.cost
+            | Error _ -> infinity
+          in
+          (price, r))
+        requests
+    in
+    List.map snd (List.stable_sort (fun (a, _) (b, _) -> compare a b) priced)
+
+let plan ?k ?(reset = true) net requests order =
+  (* price before any allocation so Cheapest_first sees the idle network *)
+  let ordered = reorder ?k net requests order in
+  if reset then Sdn.Network.reset net;
+  let admitted = ref 0 and rejected = ref 0 and total = ref 0.0 in
+  let trees = ref [] in
+  List.iter
+    (fun r ->
+      match Appro_multi.admit ?k net r with
+      | Ok res ->
+        incr admitted;
+        total := !total +. res.Appro_multi.cost;
+        trees := (r.Sdn.Request.id, res.Appro_multi.tree) :: !trees
+      | Error _ -> incr rejected)
+    ordered;
+  {
+    order;
+    admitted = !admitted;
+    rejected = !rejected;
+    total_cost = !total;
+    mean_link_utilization = Sdn.Network.mean_link_utilization net;
+    trees = List.rev !trees;
+  }
+
+let compare_orders ?k net requests =
+  List.map
+    (fun o -> (o, plan ?k net requests o))
+    [ Arrival; Smallest_first; Largest_first; Cheapest_first ]

@@ -1,0 +1,35 @@
+(** Offline batch planning — an extension of the paper's single-request
+    setting: when a whole batch of NFV-enabled multicast requests is
+    known in advance, the admission order interacts with capacities.
+    [plan] admits a batch through {!Appro_multi.admit} under a chosen
+    ordering policy; the classic observation (and our measured result)
+    is that smallest-first admits more requests than arrival order,
+    while largest-first packs fewer. *)
+
+type order =
+  | Arrival          (** the given sequence order *)
+  | Smallest_first   (** ascending bandwidth × destination count *)
+  | Largest_first    (** descending footprint — an adversarial baseline *)
+  | Cheapest_first   (** ascending uncapacitated Appro_Multi cost — needs
+                         one extra solve per request *)
+
+val order_to_string : order -> string
+
+type result = {
+  order : order;
+  admitted : int;
+  rejected : int;
+  total_cost : float;          (** Σ linear cost of admitted trees *)
+  mean_link_utilization : float;
+  trees : (int * Pseudo_tree.t) list;  (** request id → admitted tree *)
+}
+
+val plan :
+  ?k:int -> ?reset:bool -> Sdn.Network.t -> Sdn.Request.t list -> order ->
+  result
+(** Resets the network (unless [reset:false]), reorders the batch, and
+    admits greedily with [Appro_Multi_Cap]. *)
+
+val compare_orders :
+  ?k:int -> Sdn.Network.t -> Sdn.Request.t list -> (order * result) list
+(** [plan] under every ordering policy, each from a fresh network. *)

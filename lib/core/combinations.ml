@@ -1,0 +1,51 @@
+let choose n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := !acc * (n - k + i) / i
+    done;
+    !acc
+  end
+
+let subsets_of_size items k =
+  let rec go items k =
+    if k = 0 then [ [] ]
+    else
+      match items with
+      | [] -> []
+      | x :: rest ->
+        let with_x = List.map (fun s -> x :: s) (go rest (k - 1)) in
+        with_x @ go rest k
+  in
+  if k < 0 then [] else go items k
+
+let subsets_up_to items k =
+  List.concat_map (fun l -> subsets_of_size items l) (List.init k (fun i -> i + 1))
+
+let count_up_to n k =
+  let acc = ref 0 in
+  for l = 1 to k do
+    acc := !acc + choose n l
+  done;
+  !acc
+
+let iter_subsets_up_to items k f =
+  match items with
+  | [] -> ()
+  | first :: _ ->
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    let buf = Array.make (max k 1) first in
+    let rec go depth start target =
+      if depth = target then f (Array.to_list (Array.sub buf 0 target))
+      else
+        for i = start to n - 1 do
+          buf.(depth) <- arr.(i);
+          go (depth + 1) (i + 1) target
+        done
+    in
+    for l = 1 to min k n do
+      go 0 0 l
+    done

@@ -1,0 +1,22 @@
+(** Enumeration of the server combinations explored by [Appro_Multi].
+
+    Algorithm 1 iterates over every combination of at most [K] servers
+    out of [V_S] (its Fig. 4 example enumerates all subsets of size 1 and
+    2 for K = 2). *)
+
+val choose : int -> int -> int
+(** Binomial coefficient C(n, k); 0 when [k > n] or [k < 0]. *)
+
+val subsets_of_size : 'a list -> int -> 'a list list
+(** All size-[k] subsets, preserving element order within a subset. *)
+
+val subsets_up_to : 'a list -> int -> 'a list list
+(** All subsets of size 1..[k], smallest sizes first — the iteration
+    space of Algorithm 1. *)
+
+val count_up_to : int -> int -> int
+(** [count_up_to n k] = Σ_{l=1..k} C(n, l): how many auxiliary graphs
+    Algorithm 1 builds. *)
+
+val iter_subsets_up_to : 'a list -> int -> ('a list -> unit) -> unit
+(** Allocation-light iteration over [subsets_up_to]. *)

@@ -1,0 +1,35 @@
+let path_delay net edges =
+  List.fold_left (fun acc e -> acc +. Sdn.Network.link_delay net e) 0.0 edges
+
+let route_delay_ms net chain (r : Pseudo_tree.route) =
+  path_delay net r.Pseudo_tree.to_server
+  +. Sdn.Vnf.chain_delay_ms chain
+  +. path_delay net r.Pseudo_tree.onward
+
+let destination_delay_ms net (pt : Pseudo_tree.t) d =
+  match List.assoc_opt d pt.Pseudo_tree.routes with
+  | None -> invalid_arg "Delay.destination_delay_ms: no witness for destination"
+  | Some r -> route_delay_ms net pt.Pseudo_tree.request.Sdn.Request.chain r
+
+let worst_delay_ms net (pt : Pseudo_tree.t) =
+  List.fold_left
+    (fun acc (_, r) ->
+      Float.max acc (route_delay_ms net pt.Pseudo_tree.request.Sdn.Request.chain r))
+    0.0 pt.Pseudo_tree.routes
+
+let meets_deadline net (pt : Pseudo_tree.t) =
+  match pt.Pseudo_tree.request.Sdn.Request.deadline with
+  | None -> true
+  | Some bound -> worst_delay_ms net pt <= bound +. 1e-9
+
+let admit net algo request =
+  match Admission.admit_tree net algo request with
+  | Error _ as e -> e
+  | Ok tree ->
+    if meets_deadline net tree then Ok tree
+    else begin
+      Sdn.Network.release net (Pseudo_tree.allocation tree);
+      Error
+        (Printf.sprintf "deadline violated: worst destination latency %.2f ms"
+           (worst_delay_ms net tree))
+    end

@@ -1,0 +1,92 @@
+module Rng = Topology.Rng
+module Pq = Mcgraph.Pqueue
+
+type arrival = {
+  at : float;
+  holding : float;
+  request : Sdn.Request.t;
+}
+
+type trace = arrival list
+
+let exponential rng mean =
+  let u = Float.max 1e-12 (Rng.float rng 1.0) in
+  -.mean *. log u
+
+let poisson_trace ?spec rng net ~rate ~mean_holding ~count =
+  if rate <= 0.0 || mean_holding <= 0.0 then
+    invalid_arg "Dynamic.poisson_trace: non-positive rate or holding";
+  let now = ref 0.0 in
+  List.init count (fun id ->
+      now := !now +. exponential rng (1.0 /. rate);
+      {
+        at = !now;
+        holding = exponential rng mean_holding;
+        request = Workload.Gen.request ?spec rng net ~id;
+      })
+
+type stats = {
+  arrivals : int;
+  admitted : int;
+  rejected : int;
+  completed : int;
+  acceptance_ratio : float;
+  peak_concurrent : int;
+  mean_concurrent : float;
+  mean_utilization : float;
+  horizon : float;
+}
+
+type event =
+  | Arrive of arrival
+  | Depart of Pseudo_tree.t
+
+let run ?(reset = true) net algo trace =
+  if reset then Sdn.Network.reset net;
+  let q = ref (Pq.of_list (List.map (fun a -> (a.at, Arrive a)) trace)) in
+  let admitted = ref 0 and rejected = ref 0 and completed = ref 0 in
+  let concurrent = ref 0 and peak = ref 0 in
+  let last_time = ref 0.0 in
+  let conc_integral = ref 0.0 and util_integral = ref 0.0 in
+  let step now =
+    let dt = now -. !last_time in
+    conc_integral := !conc_integral +. (dt *. float_of_int !concurrent);
+    util_integral := !util_integral +. (dt *. Sdn.Network.mean_link_utilization net);
+    last_time := now
+  in
+  let rec drain () =
+    match Pq.pop !q with
+    | None -> ()
+    | Some (now, ev, rest) ->
+      q := rest;
+      step now;
+      (match ev with
+      | Arrive a -> (
+        match Admission.admit_tree net algo a.request with
+        | Ok tree ->
+          incr admitted;
+          incr concurrent;
+          if !concurrent > !peak then peak := !concurrent;
+          q := Pq.insert !q (now +. a.holding) (Depart tree)
+        | Error _ -> incr rejected)
+      | Depart tree ->
+        Sdn.Network.release net (Pseudo_tree.allocation tree);
+        decr concurrent;
+        incr completed);
+      drain ()
+  in
+  drain ();
+  let arrivals = List.length trace in
+  let horizon = !last_time in
+  {
+    arrivals;
+    admitted = !admitted;
+    rejected = !rejected;
+    completed = !completed;
+    acceptance_ratio =
+      (if arrivals = 0 then 1.0 else float_of_int !admitted /. float_of_int arrivals);
+    peak_concurrent = !peak;
+    mean_concurrent = (if horizon > 0.0 then !conc_integral /. horizon else 0.0);
+    mean_utilization = (if horizon > 0.0 then !util_integral /. horizon else 0.0);
+    horizon;
+  }

@@ -1,0 +1,48 @@
+(** Event-driven simulation with request departures.
+
+    The paper's online model admits requests that hold their resources
+    forever; real NFV multicast sessions (conferences, streams) end and
+    release capacity. This extension drives any online algorithm through
+    a Poisson arrival process with exponential holding times and reports
+    steady-state acceptance — the natural "future work" regime for
+    Algorithm 2. Every stochastic draw flows through the supplied
+    {!Topology.Rng.t}, so traces are reproducible. *)
+
+type arrival = {
+  at : float;             (** arrival time *)
+  holding : float;        (** session duration *)
+  request : Sdn.Request.t;
+}
+
+type trace = arrival list
+(** In arrival-time order. *)
+
+val poisson_trace :
+  ?spec:Workload.Gen.spec ->
+  Topology.Rng.t ->
+  Sdn.Network.t ->
+  rate:float ->
+  mean_holding:float ->
+  count:int ->
+  trace
+(** [count] arrivals with exponential(rate) inter-arrival gaps and
+    exponential(1/mean_holding) durations. Offered load is
+    [rate · mean_holding] concurrent sessions in expectation. *)
+
+type stats = {
+  arrivals : int;
+  admitted : int;
+  rejected : int;
+  completed : int;              (** sessions that departed before the end *)
+  acceptance_ratio : float;
+  peak_concurrent : int;
+  mean_concurrent : float;      (** time-averaged admitted sessions *)
+  mean_utilization : float;     (** time-averaged mean link utilisation *)
+  horizon : float;              (** time of the last event *)
+}
+
+val run : ?reset:bool -> Sdn.Network.t -> Admission.algorithm -> trace -> stats
+(** Interleave arrivals and departures in time order; admitted requests
+    allocate their pseudo-multicast tree's resources and release them at
+    departure. The network ends with all remaining sessions still
+    allocated. *)

@@ -1,0 +1,42 @@
+(** Exact optima on small instances — test oracles and ratio studies.
+
+    For K = 1 the optimal pseudo-multicast tree decomposes exactly:
+    traffic must reach some server [v] (cheapest: a shortest path) and
+    then span [D_k] from [v] (cheapest: an optimal Steiner tree), every
+    traversal paying for bandwidth. Hence
+
+    OPT₁ = min_v [ b·d(s, v) + c_v(SC) + SteinerOPT({v} ∪ D) ].
+
+    The Steiner optimum comes from {!Mcgraph.Steiner.exact}
+    (Dreyfus–Wagner), so instances must keep [|D_k| + 1 ≤ 15]. *)
+
+type result = {
+  tree : Pseudo_tree.t;
+  server : int;
+  cost : float;
+}
+
+val optimal_one_server : Sdn.Network.t -> Sdn.Request.t -> (result, string) Stdlib.result
+(** The exact K = 1 optimum under the linear (per-traversal) cost model.
+    Raises [Invalid_argument] when the destination set is too large for
+    Dreyfus–Wagner. *)
+
+type multi_result = {
+  mtree : Pseudo_tree.t;
+  servers : int list;
+  assignment : (int * int) list;   (** destination → serving server *)
+  mcost : float;
+}
+
+val optimal : ?k:int -> Sdn.Network.t -> Sdn.Request.t -> (multi_result, string) Stdlib.result
+(** The exact optimum with at most [k] (default 3) servers, over the
+    fully general structure family: an optimal Steiner tree carries the
+    unprocessed stream from the source to the chosen servers (sharing
+    common prefixes), and each server distributes the processed stream
+    over an optimal Steiner tree to its assigned destinations. Every
+    pseudo-multicast routing decomposes into (and is dominated by) such
+    a structure, so this is a true lower bound realised by a valid
+    routing — the reference for the 2K-approximation property test.
+
+    Exponential in [|D_k|] and the server count; raises
+    [Invalid_argument] when [|D_k| > 6]. *)

@@ -1,0 +1,185 @@
+module G = Mcgraph.Graph
+
+type action =
+  | Forward of int
+  | Deliver
+  | To_vm
+
+type rule = {
+  switch : int;
+  tagged : bool;
+  in_edge : int option;
+  actions : action list;
+}
+
+type t = {
+  request_id : int;
+  rules : rule list;
+}
+
+type key = int * bool * int option
+
+let add_action tbl (key : key) action =
+  let cur = Option.value (Hashtbl.find_opt tbl key) ~default:[] in
+  if not (List.mem action cur) then Hashtbl.replace tbl key (action :: cur)
+
+(* walk an edge list from [start], calling [f node in_edge out_edge_opt]
+   at every hop boundary; returns the final node *)
+let walk g start edges f =
+  let rec go node in_edge = function
+    | [] ->
+      f node in_edge None;
+      node
+    | e :: rest ->
+      f node in_edge (Some e);
+      go (G.other_endpoint g e node) (Some e) rest
+  in
+  go start None edges
+
+let of_pseudo_tree net (pt : Pseudo_tree.t) =
+  let g = Sdn.Network.graph net in
+  let req = pt.Pseudo_tree.request in
+  let tbl : (key, action list) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (d, route) ->
+      let v = route.Pseudo_tree.server in
+      (* untagged leg: source → server, ending in the VM *)
+      let reached =
+        walk g req.Sdn.Request.source route.Pseudo_tree.to_server
+          (fun node in_edge out ->
+            match out with
+            | Some e -> add_action tbl (node, false, in_edge) (Forward e)
+            | None -> add_action tbl (node, false, in_edge) To_vm)
+      in
+      if reached <> v then
+        invalid_arg "Flow_rules.of_pseudo_tree: witness does not reach its server";
+      (* tagged leg: VM re-injects at the server with no ingress edge *)
+      let reached =
+        walk g v route.Pseudo_tree.onward (fun node in_edge out ->
+            match out with
+            | Some e -> add_action tbl (node, true, in_edge) (Forward e)
+            | None -> add_action tbl (node, true, in_edge) Deliver)
+      in
+      if reached <> d then
+        invalid_arg "Flow_rules.of_pseudo_tree: witness does not reach its destination")
+    pt.Pseudo_tree.routes;
+  let rules =
+    Hashtbl.fold
+      (fun (switch, tagged, in_edge) actions acc ->
+        { switch; tagged; in_edge; actions = List.rev actions } :: acc)
+      tbl []
+  in
+  let rules =
+    List.sort
+      (fun a b ->
+        compare (a.switch, a.tagged, a.in_edge) (b.switch, b.tagged, b.in_edge))
+      rules
+  in
+  { request_id = req.Sdn.Request.id; rules }
+
+let rules_at t switch = List.filter (fun r -> r.switch = switch) t.rules
+
+let switches_with_state t =
+  List.sort_uniq compare (List.map (fun r -> r.switch) t.rules)
+
+let table_size t switch = List.length (rules_at t switch)
+let total_rules t = List.length t.rules
+
+type delivery = {
+  delivered : int list;
+  processed_at : int list;
+  link_loads : (int * int) list;
+}
+
+let simulate net t ~source =
+  let g = Sdn.Network.graph net in
+  let lookup = Hashtbl.create 32 in
+  List.iter
+    (fun r -> Hashtbl.replace lookup (r.switch, r.tagged, r.in_edge) r.actions)
+    t.rules;
+  let seen = Hashtbl.create 64 in
+  let loads = Hashtbl.create 32 in
+  let delivered = ref [] and processed = ref [] in
+  let hops = ref 0 in
+  let budget = 4 * (G.m g + 1) in
+  let q = Queue.create () in
+  Queue.add (source, false, None) q;
+  while not (Queue.is_empty q) do
+    let ((node, tagged, _in_edge) as ev) = Queue.pop q in
+    if not (Hashtbl.mem seen ev) then begin
+      Hashtbl.replace seen ev ();
+      match Hashtbl.find_opt lookup ev with
+      | None -> () (* no rule: the packet is dropped at this switch *)
+      | Some actions ->
+        List.iter
+          (function
+            | Deliver -> delivered := node :: !delivered
+            | To_vm ->
+              processed := node :: !processed;
+              Queue.add (node, true, None) q
+            | Forward e ->
+              incr hops;
+              if !hops > budget then
+                invalid_arg "Flow_rules.simulate: forwarding loop";
+              let cur = Option.value (Hashtbl.find_opt loads e) ~default:0 in
+              Hashtbl.replace loads e (cur + 1);
+              Queue.add (G.other_endpoint g e node, tagged, Some e) q)
+          actions
+    end
+  done;
+  {
+    delivered = List.sort_uniq compare !delivered;
+    processed_at = List.sort_uniq compare !processed;
+    link_loads =
+      List.sort compare (Hashtbl.fold (fun e c acc -> (e, c) :: acc) loads []);
+  }
+
+let verify net pt =
+  let ( let* ) r f = Result.bind r f in
+  let* t =
+    match of_pseudo_tree net pt with
+    | t -> Ok t
+    | exception Invalid_argument msg -> Error msg
+  in
+  let req = pt.Pseudo_tree.request in
+  let* d =
+    match simulate net t ~source:req.Sdn.Request.source with
+    | d -> Ok d
+    | exception Invalid_argument msg -> Error msg
+  in
+  let* () =
+    match
+      List.find_opt
+        (fun dest -> not (List.mem dest d.delivered))
+        req.Sdn.Request.destinations
+    with
+    | Some dest ->
+      Error (Printf.sprintf "destination %d never receives a processed copy" dest)
+    | None -> Ok ()
+  in
+  let* () =
+    match
+      List.find_opt
+        (fun v -> not (List.mem v pt.Pseudo_tree.servers))
+        d.processed_at
+    with
+    | Some v -> Error (Printf.sprintf "processing at unplaced node %d" v)
+    | None -> Ok ()
+  in
+  let declared = pt.Pseudo_tree.edge_uses in
+  List.fold_left
+    (fun acc (e, load) ->
+      let* () = acc in
+      match List.assoc_opt e declared with
+      | None -> Error (Printf.sprintf "traffic on edge %d outside the tree" e)
+      | Some uses when load > uses ->
+        Error
+          (Printf.sprintf "edge %d carries %d traversals but reserves %d" e load
+             uses)
+      | Some _ -> Ok ())
+    (Ok ()) d.link_loads
+
+let pp ppf t =
+  Format.fprintf ppf "flow-rules(req=%d, %d rules over %d switches)" t.request_id
+    (total_rules t)
+    (List.length (switches_with_state t))

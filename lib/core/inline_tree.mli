@@ -1,0 +1,36 @@
+(** The paper's §III-B construction (Fig. 3): in-line servers on a
+    multicast tree.
+
+    Given a multicast tree rooted at the source and a set of servers
+    lying on it, the data stream flows down the tree, is processed at a
+    server {e in line}, and processed copies backtrack through tree
+    ancestors to reach destinations on other branches — the
+    pseudo-multicast tree [G_T] of the paper. [derive] performs exactly
+    this derivation (each destination served by its tree-nearest chosen
+    server); [solve] is the heuristic built on it: KMB multicast tree
+    over [{s_k} ∪ D_k] first, chain placement grafted second. This is
+    the "place the NFV on the tree" family the paper contrasts
+    Appro_Multi's joint optimisation against. *)
+
+val derive :
+  Sdn.Network.t ->
+  Sdn.Request.t ->
+  tree:int list ->
+  servers:int list ->
+  (Pseudo_tree.t, string) result
+(** [tree] must be a tree (edge ids) containing the source and all
+    destinations; [servers] must be network servers lying on the tree.
+    Each destination is assigned the server with the cheapest tree path
+    to it; servers serving no destination are dropped. *)
+
+type result = {
+  tree : Pseudo_tree.t;
+  servers : int list;
+  cost : float;
+}
+
+val solve : ?k:int -> Sdn.Network.t -> Sdn.Request.t -> (result, string) Stdlib.result
+(** Build a KMB multicast tree over [{s_k} ∪ D_k]; if a candidate server
+    is off the tree, extend the tree with its shortest attachment path;
+    evaluate every combination of at most [k] (default 1) servers via
+    [derive] and keep the cheapest. *)

@@ -1,0 +1,17 @@
+(** The [Alg_One_Server] baseline (Zhang et al., evaluated against
+    [Appro_Multi] in §VI-B).
+
+    For each candidate server [v]: route the source's traffic to [v]
+    along a shortest path, expand an MST of the metric closure over
+    [{v} ∪ D_k] into a multicast tree rooted at [v] (the KMB expansion),
+    and keep the cheapest (server, tree) combination. Exactly one server
+    implements the chain. *)
+
+type result = {
+  tree : Pseudo_tree.t;
+  server : int;
+  cost : float;   (** linear implementation cost of the pseudo-tree *)
+}
+
+val solve : Sdn.Network.t -> Sdn.Request.t -> (result, string) Stdlib.result
+(** Uncapacitated, as in the paper's comparison. *)

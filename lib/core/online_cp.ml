@@ -1,0 +1,174 @@
+module Paths = Mcgraph.Paths
+module Tree = Mcgraph.Tree
+
+type params = {
+  alpha : float;
+  beta : float;
+  sigma_v : float;
+  sigma_e : float;
+}
+
+let default_params net =
+  let base = Cost_model.default_base net in
+  let sigma = Cost_model.default_sigma net in
+  { alpha = base; beta = base; sigma_v = sigma; sigma_e = sigma }
+
+type rejection =
+  | No_feasible_server
+  | Unreachable
+  | Over_threshold
+  | Unallocatable
+
+let rejection_to_string = function
+  | No_feasible_server -> "no server with enough computing residual"
+  | Unreachable -> "destinations unreachable under bandwidth residuals"
+  | Over_threshold -> "all candidates above admission thresholds"
+  | Unallocatable -> "no candidate tree could reserve its resources"
+
+type admitted = {
+  tree : Pseudo_tree.t;
+  server : int;
+  lca : int;
+  score : float;
+}
+
+type outcome = Admitted of admitted | Rejected of rejection
+
+type candidate = {
+  cand_server : int;
+  cand_tree : int list;
+  cand_backtrack : int list;  (* edges of the v → u return path *)
+  cand_lca : int;
+  cand_score : float;
+}
+
+let admit ?(mode = `Exponential) ?params net request =
+  let params =
+    match params with Some p -> p | None -> default_params net
+  in
+  let g = Sdn.Network.graph net in
+  let b = request.Sdn.Request.bandwidth in
+  let s = request.Sdn.Request.source in
+  let demand = Sdn.Request.demand_mhz request in
+  (* At zero load every exponential weight is exactly 0, which makes all
+     trees tie and routing hop-oblivious; a tiny per-edge epsilon breaks
+     ties toward fewer hops without affecting the thresholds. *)
+  let hop_epsilon = 1e-6 in
+  let link_w e =
+    if not (Sdn.Network.link_admits net e b) then infinity
+    else
+      match mode with
+      | `Exponential -> Cost_model.link_weight net ~base:params.beta e +. hop_epsilon
+      | `Linear -> Cost_model.linear_link_weight net e
+  in
+  let server_w v =
+    match mode with
+    | `Exponential -> Cost_model.server_weight net ~base:params.alpha v
+    | `Linear -> Sdn.Network.server_unit_cost net v *. demand
+  in
+  let thresholds_on = mode = `Exponential in
+  let usable =
+    List.filter (fun v -> Sdn.Network.server_admits net v demand) (Sdn.Network.servers net)
+  in
+  if usable = [] then Rejected No_feasible_server
+  else begin
+    (* one Dijkstra per terminal, shared by every candidate server *)
+    let terminals = List.sort_uniq compare (s :: request.Sdn.Request.destinations) in
+    let spt_of = Hashtbl.create 16 in
+    List.iter
+      (fun t -> Hashtbl.replace spt_of t (Paths.dijkstra g ~weight:link_w ~source:t))
+      terminals;
+    let dist x y =
+      match Hashtbl.find_opt spt_of x with
+      | Some spt -> spt.Paths.dist.(y)
+      | None -> (Hashtbl.find spt_of y).Paths.dist.(x)
+    in
+    let path x y =
+      match Hashtbl.find_opt spt_of x with
+      | Some spt -> Paths.path_edges g spt y
+      | None ->
+        Option.map List.rev (Paths.path_edges g (Hashtbl.find spt_of y) x)
+    in
+    let reachable =
+      let spt_s = Hashtbl.find spt_of s in
+      List.for_all
+        (fun d -> spt_s.Paths.dist.(d) < infinity)
+        request.Sdn.Request.destinations
+    in
+    if not reachable then Rejected Unreachable
+    else begin
+      let saw_threshold_violation = ref false in
+      let consider acc v =
+        let wv = server_w v in
+        if thresholds_on && wv >= params.sigma_v then begin
+          saw_threshold_violation := true;
+          acc
+        end
+        else if dist s v = infinity then acc
+        else begin
+          let terms = List.sort_uniq compare (v :: terminals) in
+          match
+            Mcgraph.Steiner.kmb_with_metric g ~weight:link_w ~terminals:terms
+              ~dist ~path
+          with
+          | None -> acc
+          | Some tree_edges ->
+            let w_tree = Mcgraph.Steiner.tree_cost ~weight:link_w tree_edges in
+            if thresholds_on && w_tree >= params.sigma_e then begin
+              saw_threshold_violation := true;
+              acc
+            end
+            else begin
+              let rooted = Tree.of_edges g ~root:s tree_edges in
+              let u = Tree.lca_many rooted (v :: request.Sdn.Request.destinations) in
+              let backtrack = Tree.path_up rooted v ~ancestor:u in
+              let w_back = Mcgraph.Steiner.tree_cost ~weight:link_w backtrack in
+              let score = w_tree +. w_back +. wv in
+              {
+                cand_server = v;
+                cand_tree = tree_edges;
+                cand_backtrack = backtrack;
+                cand_lca = u;
+                cand_score = score;
+              }
+              :: acc
+            end
+        end
+      in
+      let cands = List.fold_left consider [] usable in
+      match cands with
+      | [] ->
+        if !saw_threshold_violation then Rejected Over_threshold
+        else Rejected Unreachable
+      | _ ->
+        let sorted =
+          List.sort (fun a b -> compare a.cand_score b.cand_score) cands
+        in
+        let rec try_cands = function
+          | [] -> Rejected Unallocatable
+          | c :: rest -> (
+            let v = c.cand_server in
+            let rooted = Tree.of_edges g ~root:s c.cand_tree in
+            let to_server = List.rev (Tree.path_up rooted v ~ancestor:s) in
+            let route_of d =
+              (* the processed copy climbs only to LCA(v, d) — a prefix of
+                 the reserved v → u backtrack — before descending, so no
+                 edge carries more traffic than Algorithm 2 accounts for *)
+              let onward = Tree.path_between rooted v d in
+              (d, { Pseudo_tree.to_server; server = v; onward })
+            in
+            let routes = List.map route_of request.Sdn.Request.destinations in
+            let tree =
+              Pseudo_tree.make ~request ~servers:[ v ]
+                ~edge_uses:
+                  (Pseudo_tree.edge_uses_of_list (c.cand_tree @ c.cand_backtrack))
+                ~routes
+            in
+            match Sdn.Network.allocate net (Pseudo_tree.allocation tree) with
+            | Ok () ->
+              Admitted { tree; server = v; lca = c.cand_lca; score = c.cand_score }
+            | Error _ -> try_cands rest)
+        in
+        try_cands sorted
+    end
+  end

@@ -1,0 +1,49 @@
+(** Algorithm 2, [Online_CP]: online admission of NFV-enabled multicast
+    requests with K = 1 and an O(log |V|) competitive ratio (§V).
+
+    Per request: compute normalised exponential weights
+    [w_e(k) = β^{1−B_e(k)/B_e} − 1] and [w_v(k) = α^{1−C_v(k)/C_v} − 1];
+    for every server [v] below the node threshold, find a KMB Steiner
+    tree over [{s_k, v} ∪ D_k]; check the edge threshold; account for the
+    processed packet's backtrack from [v] to the aggregate lowest common
+    ancestor [u = LCA(v, d_1, …)] (step 10); admit the cheapest
+    candidate and reserve its resources.
+
+    The [`Linear] mode replaces the exponential weights by load-oblivious
+    unit costs and disables the thresholds — the ablation showing why the
+    exponential model balances load (§V-A). *)
+
+type params = {
+  alpha : float;    (** node cost base, paper: 2|V| *)
+  beta : float;     (** edge cost base, paper: 2|V| *)
+  sigma_v : float;  (** node admission threshold, paper: |V| − 1 *)
+  sigma_e : float;  (** edge admission threshold, paper: |V| − 1 *)
+}
+
+val default_params : Sdn.Network.t -> params
+
+type rejection =
+  | No_feasible_server   (** Case 1: computing residual insufficient everywhere *)
+  | Unreachable          (** Case 2: no tree under the bandwidth residuals *)
+  | Over_threshold       (** Case 3: every candidate violated σ_v or σ_e *)
+  | Unallocatable        (** trees found but none could atomically reserve *)
+
+val rejection_to_string : rejection -> string
+
+type admitted = {
+  tree : Pseudo_tree.t;
+  server : int;
+  lca : int;           (** the backtrack target [u] *)
+  score : float;       (** normalised weight of the admitted structure *)
+}
+
+type outcome = Admitted of admitted | Rejected of rejection
+
+val admit :
+  ?mode:[ `Exponential | `Linear ] ->
+  ?params:params ->
+  Sdn.Network.t ->
+  Sdn.Request.t ->
+  outcome
+(** Decide one request; on admission the network's residuals are
+    reduced by the tree's allocation. *)

@@ -1,0 +1,54 @@
+type admitted = {
+  tree : Pseudo_tree.t;
+  servers : int list;
+  score : float;
+}
+
+type outcome = Admitted of admitted | Rejected of string
+
+let admit ?(k = 2) ?alpha ?beta net request =
+  let alpha = Option.value alpha ~default:(Cost_model.default_base net) in
+  let beta = Option.value beta ~default:(Cost_model.default_base net) in
+  let b = request.Sdn.Request.bandwidth in
+  let demand = Sdn.Request.demand_mhz request in
+  let hop_epsilon = 1e-6 in
+  let keep e = Sdn.Network.link_admits net e b in
+  let edge_weight e = Cost_model.link_weight net ~base:beta e +. hop_epsilon in
+  (* server weight scaled by its utilisation increment so it is
+     commensurable with the edge weights (both are load-sensitive,
+     dimensionless prices) *)
+  let placement_cost v =
+    Cost_model.server_weight net ~base:alpha v
+    +. (demand /. Sdn.Network.server_capacity net v)
+  in
+  let usable =
+    List.filter
+      (fun v -> Sdn.Network.server_admits net v demand)
+      (Sdn.Network.servers net)
+  in
+  if usable = [] then Rejected "no server with enough computing residual"
+  else begin
+    let cands =
+      Appro_multi.candidates ~k ~keep ~usable_servers:usable net request
+        ~edge_weight ~placement_cost
+    in
+    let rec try_cands = function
+      | [] -> Rejected "no allocatable combination"
+      | (score, _, aux, edges) :: rest -> (
+        let tree = Aux_graph.to_pseudo_tree aux edges in
+        match Sdn.Network.allocate net (Pseudo_tree.allocation tree) with
+        | Ok () ->
+          Admitted { tree; servers = tree.Pseudo_tree.servers; score }
+        | Error _ -> try_cands rest)
+    in
+    match cands with
+    | [] -> Rejected "destinations unreachable under bandwidth residuals"
+    | _ -> try_cands cands
+  end
+
+let run ?k ?(reset = true) net requests =
+  if reset then Sdn.Network.reset net;
+  List.fold_left
+    (fun acc r ->
+      match admit ?k net r with Admitted _ -> acc + 1 | Rejected _ -> acc)
+    0 requests

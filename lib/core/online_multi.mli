@@ -1,0 +1,28 @@
+(** Online admission with multi-server chain placement — the K > 1
+    online setting the paper leaves open ("we propose an online algorithm
+    … if K = 1").
+
+    Per request: price every link with the normalised exponential weight
+    [w_e(k)] (plus a hop epsilon) and every server with [w_v(k)] scaled
+    into the same units, run Appro_Multi's auxiliary-graph machinery over
+    all combinations of at most K servers under those prices, and admit
+    the cheapest combination that can atomically reserve its resources.
+    No σ thresholds are applied (see EXPERIMENTS.md on their measured
+    conservatism); capacity feasibility is enforced by pruning and by the
+    atomic allocation. *)
+
+type admitted = {
+  tree : Pseudo_tree.t;
+  servers : int list;
+  score : float;   (** auxiliary-tree weight under the online prices *)
+}
+
+type outcome = Admitted of admitted | Rejected of string
+
+val admit : ?k:int -> ?alpha:float -> ?beta:float -> Sdn.Network.t -> Sdn.Request.t -> outcome
+(** Default [k = 2], [alpha = beta = 2|V|]. On admission the network's
+    residuals are reduced by the tree's allocation. *)
+
+val run :
+  ?k:int -> ?reset:bool -> Sdn.Network.t -> Sdn.Request.t list -> int
+(** Convenience driver: number of admitted requests over a sequence. *)

@@ -1,0 +1,20 @@
+(** The [SP] online baseline (§VI-A).
+
+    For each request: remove links and servers without enough residual
+    resources, give every remaining link the same unit weight, and for
+    each candidate server [v] combine a shortest path [s_k → v] with a
+    single-source shortest-path tree rooted at [v] spanning the
+    destinations. The cheapest (fewest total edges) combination is
+    admitted. Load-oblivious by design — the foil for [Online_CP]. *)
+
+type admitted = {
+  tree : Pseudo_tree.t;
+  server : int;
+  hops : int;   (** total edge count of path + tree (the SP objective) *)
+}
+
+type outcome = Admitted of admitted | Rejected of string
+
+val admit : Sdn.Network.t -> Sdn.Request.t -> outcome
+(** Decide one request; on admission the network's residuals are
+    reduced. *)

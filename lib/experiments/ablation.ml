@@ -1,0 +1,241 @@
+module Adm = Nfv_multicast.Admission
+module A = Nfv_multicast.Appro_multi
+
+let cost_model ?(seed = 1) ?(requests = 2000) ?(n = 100) () =
+  let rng = Topology.Rng.create seed in
+  let topo = Topology.Waxman.generate ~alpha:0.2 ~beta:0.25 rng ~n in
+  let net = Sdn.Network.make_random_servers ~fraction:0.05 ~rng topo in
+  let reqs = Workload.Gen.sequence rng net ~count:requests in
+  let checkpoints =
+    List.init (requests / 200) (fun i -> (i + 1) * 200)
+  in
+  let curve stats =
+    List.map
+      (fun p -> (float_of_int p, float_of_int (Adm.admitted_after stats p)))
+      checkpoints
+  in
+  let series =
+    List.map
+      (fun algo ->
+        let stats = Adm.run net algo reqs in
+        { Exp_common.label = Adm.algorithm_to_string algo; points = curve stats })
+      [ Adm.Online_cp; Adm.Online_cp_no_threshold; Adm.Online_linear; Adm.Sp ]
+  in
+  {
+    Exp_common.id = "ablA1";
+    title = "cost-model ablation: admissions over a long arrival sequence";
+    xlabel = "requests";
+    ylabel = "admitted";
+    series;
+    notes =
+      [
+        Printf.sprintf
+          "n = %d, 5%% servers, sparse topology; exponential vs linear weights vs SP"
+          n;
+      ];
+  }
+
+let k_sweep ?(seed = 1) ?(requests = 20) ?(sizes = [ 50; 100; 150 ]) () =
+  let ks = [ 1; 2; 3 ] in
+  let cost_series = ref [] and time_series = ref [] in
+  List.iter
+    (fun k ->
+      let costs = ref [] and times = ref [] in
+      List.iter
+        (fun n ->
+          let rng = Topology.Rng.create (seed + n) in
+          let net = Exp_common.network rng ~n in
+          let spec = { Workload.Gen.default_spec with dmax_ratio = Some 0.2 } in
+          let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
+          let cs = ref [] and ts = ref [] in
+          List.iter
+            (fun r ->
+              let res, t = Exp_common.time_of (fun () -> A.solve ~k net r) in
+              match res with
+              | Ok res ->
+                cs := res.A.cost :: !cs;
+                ts := t :: !ts
+              | Error _ -> ())
+            reqs;
+          costs := (float_of_int n, Exp_common.mean !cs) :: !costs;
+          times := (float_of_int n, 1000.0 *. Exp_common.mean !ts) :: !times)
+        sizes;
+      let label = Printf.sprintf "K=%d" k in
+      cost_series :=
+        { Exp_common.label; points = List.rev !costs } :: !cost_series;
+      time_series :=
+        { Exp_common.label; points = List.rev !times } :: !time_series)
+    ks;
+  [
+    {
+      Exp_common.id = "ablA2cost";
+      title = "K ablation: Appro_Multi cost vs network size";
+      xlabel = "|V|";
+      ylabel = "mean cost";
+      series = List.rev !cost_series;
+      notes = [ Printf.sprintf "Dmax/|V| = 0.2, %d requests per point" requests ];
+    };
+    {
+      Exp_common.id = "ablA2time";
+      title = "K ablation: Appro_Multi running time vs network size";
+      xlabel = "|V|";
+      ylabel = "ms per request";
+      series = List.rev !time_series;
+      notes = [ Printf.sprintf "Dmax/|V| = 0.2, %d requests per point" requests ];
+    };
+  ]
+
+(* Where multiple servers genuinely pay off: a source between two
+   destination clusters, a server next to each cluster. A single chain
+   instance forces the processed stream to re-cross one arm (2·arm·b
+   extra bandwidth); a second instance costs one more chain placement.
+   The crossover sits at b ≈ chain_cost / (2·arm). *)
+let two_cluster ?(seed = 1) ?(arm = 4) () =
+  let rng = Topology.Rng.create seed in
+  (* nodes: 0 = source; arm nodes per side; server at the far end of each
+     arm, one destination hanging off each server *)
+  let n = (2 * arm) + 5 in
+  let g = Mcgraph.Graph.create n in
+  let chain_path start nodes =
+    List.fold_left
+      (fun prev v ->
+        ignore (Mcgraph.Graph.add_edge g prev v);
+        v)
+      start nodes
+  in
+  let left_nodes = List.init arm (fun i -> 1 + i) in
+  let right_nodes = List.init arm (fun i -> 1 + arm + i) in
+  let left_end = chain_path 0 left_nodes in
+  let right_end = chain_path 0 right_nodes in
+  let s_left = (2 * arm) + 1 and s_right = (2 * arm) + 2 in
+  let d_left = (2 * arm) + 3 and d_right = (2 * arm) + 4 in
+  ignore (Mcgraph.Graph.add_edge g left_end s_left);
+  ignore (Mcgraph.Graph.add_edge g right_end s_right);
+  ignore (Mcgraph.Graph.add_edge g s_left d_left);
+  ignore (Mcgraph.Graph.add_edge g s_right d_right);
+  let topo = Topology.Topo.make ~name:"two-cluster" g in
+  let net =
+    Sdn.Network.make
+      ~profile:
+        (Sdn.Network.uniform_profile ~link_capacity:100_000.0
+           ~server_capacity:12_000.0)
+      ~rng ~servers:[ s_left; s_right ] topo
+  in
+  let bandwidths = [ 25.0; 50.0; 100.0; 150.0; 200.0 ] in
+  let series_of k =
+    let points =
+      List.map
+        (fun b ->
+          let req =
+            Sdn.Request.make ~id:0 ~source:0 ~destinations:[ d_left; d_right ]
+              ~bandwidth:b
+              ~chain:[ Sdn.Vnf.Nat; Sdn.Vnf.Firewall; Sdn.Vnf.Ids ]
+          in
+          match A.solve ~k net req with
+          | Ok r -> (b, r.A.cost)
+          | Error _ -> (b, nan))
+        bandwidths
+    in
+    { Exp_common.label = Printf.sprintf "K=%d" k; points }
+  in
+  {
+    Exp_common.id = "ablA2cluster";
+    title = "K ablation: two destination clusters, server next to each";
+    xlabel = "bandwidth (Mbps)";
+    ylabel = "implementation cost";
+    series = List.map series_of [ 1; 2 ];
+    notes =
+      [
+        Printf.sprintf
+          "arm length %d; chain <NAT,Firewall,IDS> = 145 MHz; crossover at b ≈ 145/(2·%d)·c"
+          arm arm;
+      ];
+  }
+
+(* joint optimisation (Appro_Multi) vs tree-first placement (Inline, the
+   paper's Fig. 3 derivation) vs the §VI-A baseline *)
+let placement_strategies ?(seed = 1) ?(requests = 40) ?(sizes = [ 50; 100; 150 ]) () =
+  let labels =
+    [ "Appro_Multi (joint)"; "Inline (tree-first)"; "Alg_One_Server" ]
+  in
+  let sums = Hashtbl.create 4 in
+  List.iter (fun l -> Hashtbl.replace sums l []) labels;
+  List.iter
+    (fun n ->
+      let rng = Topology.Rng.create (seed + n) in
+      let net = Exp_common.network rng ~n in
+      let spec = { Workload.Gen.default_spec with dmax_ratio = Some 0.15 } in
+      let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
+      let totals = [| []; []; [] |] in
+      List.iter
+        (fun r ->
+          match
+            ( A.solve ~k:2 net r,
+              Nfv_multicast.Inline_tree.solve ~k:2 net r,
+              Nfv_multicast.One_server.solve net r )
+          with
+          | Ok a, Ok i, Ok o ->
+            totals.(0) <- a.A.cost :: totals.(0);
+            totals.(1) <- i.Nfv_multicast.Inline_tree.cost :: totals.(1);
+            totals.(2) <- o.Nfv_multicast.One_server.cost :: totals.(2)
+          | _ -> ())
+        reqs;
+      List.iteri
+        (fun i l ->
+          Hashtbl.replace sums l
+            ((float_of_int n, Exp_common.mean totals.(i)) :: Hashtbl.find sums l))
+        labels)
+    sizes;
+  {
+    Exp_common.id = "ablA3";
+    title = "placement strategy: joint vs tree-first vs baseline";
+    xlabel = "|V|";
+    ylabel = "mean cost";
+    series =
+      List.map
+        (fun l -> { Exp_common.label = l; points = List.rev (Hashtbl.find sums l) })
+        labels;
+    notes =
+      [
+        Printf.sprintf "Dmax/|V| = 0.15, K = 2, %d requests per point" requests;
+      ];
+  }
+
+(* the K > 1 online variant (future-work direction): admitted requests
+   vs K under sustained load *)
+let online_k ?(seed = 1) ?(requests = 800) ?(n = 100) () =
+  let rng = Topology.Rng.create seed in
+  let net = Exp_common.network rng ~n in
+  let reqs = Workload.Gen.sequence rng net ~count:requests in
+  let points =
+    List.map
+      (fun k ->
+        (float_of_int k, float_of_int (Nfv_multicast.Online_multi.run ~k net reqs)))
+      [ 1; 2; 3 ]
+  in
+  let sp = Adm.run net Adm.Sp reqs in
+  {
+    Exp_common.id = "ablA4";
+    title = "online multi-server placement: admitted vs K";
+    xlabel = "K";
+    ylabel = "admitted";
+    series =
+      [
+        { Exp_common.label = "Online_Multi"; points };
+        {
+          Exp_common.label = "SP";
+          points = List.map (fun k -> (float_of_int k, float_of_int sp.Adm.admitted)) [ 1; 2; 3 ];
+        };
+      ];
+    notes =
+      [
+        Printf.sprintf
+          "n = %d, %d requests; exponential prices, no σ thresholds (the K>1 \
+           online setting the paper leaves open)"
+          n requests;
+      ];
+  }
+
+let run ?(seed = 1) () =
+  (cost_model ~seed () :: k_sweep ~seed ())
+  @ [ two_cluster ~seed (); placement_strategies ~seed (); online_k ~seed () ]

@@ -1,0 +1,38 @@
+module B = Nfv_multicast.Batch
+
+let orders = B.[ Arrival; Smallest_first; Largest_first; Cheapest_first ]
+
+let run ?(seed = 1) ?(n = 80) ?(sizes = [ 100; 200; 400; 800 ]) () =
+  let admitted = Hashtbl.create 4 in
+  List.iter (fun o -> Hashtbl.replace admitted o []) orders;
+  List.iter
+    (fun batch ->
+      let rng = Topology.Rng.create seed in
+      let net = Exp_common.network rng ~n in
+      let reqs = Workload.Gen.sequence rng net ~count:batch in
+      List.iter
+        (fun o ->
+          let r = B.plan ~k:2 net reqs o in
+          Hashtbl.replace admitted o
+            ((float_of_int batch, float_of_int r.B.admitted)
+            :: Hashtbl.find admitted o))
+        orders)
+    sizes;
+  [
+    {
+      Exp_common.id = "batchA";
+      title = "batch admission: requests packed per ordering policy";
+      xlabel = "batch size";
+      ylabel = "admitted";
+      series =
+        List.map
+          (fun o ->
+            {
+              Exp_common.label = B.order_to_string o;
+              points = List.rev (Hashtbl.find admitted o);
+            })
+          orders;
+      notes =
+        [ Printf.sprintf "n = %d, K = 2, Appro_Multi_Cap greedy admission" n ];
+    };
+  ]

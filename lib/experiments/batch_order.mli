@@ -1,0 +1,6 @@
+(** Extension experiment: offline batch admission order. Sweeps the
+    batch size on one network and reports how many requests each
+    ordering policy (arrival, smallest-first, largest-first,
+    cheapest-first) packs with [Appro_Multi_Cap]. *)
+
+val run : ?seed:int -> ?n:int -> ?sizes:int list -> unit -> Exp_common.figure list

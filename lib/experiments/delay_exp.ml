@@ -1,0 +1,53 @@
+module Adm = Nfv_multicast.Admission
+module Delay = Nfv_multicast.Delay
+
+let algos = [ Adm.Online_cp_no_threshold; Adm.Sp ]
+let deadlines = [ 6.0; 10.0; 15.0; 25.0; 50.0 ]
+
+let run ?(seed = 1) ?(n = 100) ?(requests = 400) () =
+  let acc = Hashtbl.create 4 in
+  List.iter (fun a -> Hashtbl.replace acc a []) algos;
+  List.iter
+    (fun bound ->
+      let rng = Topology.Rng.create seed in
+      let net = Exp_common.network rng ~n in
+      let spec =
+        { Workload.Gen.default_spec with deadline = Some (bound, bound) }
+      in
+      let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
+      List.iter
+        (fun algo ->
+          Sdn.Network.reset net;
+          let admitted =
+            List.fold_left
+              (fun k r ->
+                match Delay.admit net algo r with Ok _ -> k + 1 | Error _ -> k)
+              0 reqs
+          in
+          Hashtbl.replace acc algo
+            ((bound, float_of_int admitted /. float_of_int requests)
+            :: Hashtbl.find acc algo))
+        algos)
+    deadlines;
+  [
+    {
+      Exp_common.id = "delayA";
+      title = "delay-bounded admission: acceptance vs deadline";
+      xlabel = "deadline (ms)";
+      ylabel = "acceptance ratio";
+      series =
+        List.map
+          (fun a ->
+            {
+              Exp_common.label = Adm.algorithm_to_string a;
+              points = List.rev (Hashtbl.find acc a);
+            })
+          algos;
+      notes =
+        [
+          Printf.sprintf
+            "n = %d, %d requests; link delay U[0.5, 2] ms, NF processing 0.1–1 ms"
+            n requests;
+        ];
+    };
+  ]

@@ -1,0 +1,7 @@
+(** Extension experiment: delay-bounded admission. Requests carry an
+    end-to-end latency deadline; trees violating it are rolled back and
+    rejected. Sweeping deadline tightness exposes a tension the paper's
+    cost model hides: load-aware routing takes detours, so under tight
+    deadlines the min-hop SP baseline keeps more of its admissions. *)
+
+val run : ?seed:int -> ?n:int -> ?requests:int -> unit -> Exp_common.figure list

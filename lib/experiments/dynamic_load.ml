@@ -1,0 +1,63 @@
+module Adm = Nfv_multicast.Admission
+module Dyn = Nfv_multicast.Dynamic
+
+let algos = [ Adm.Online_cp; Adm.Online_cp_no_threshold; Adm.Sp ]
+let offered_loads = [ 25.0; 50.0; 100.0; 200.0; 400.0 ]
+
+let run ?(seed = 1) ?(n = 100) ?(arrivals = 2000) () =
+  let acceptance = Hashtbl.create 4 and utilization = Hashtbl.create 4 in
+  List.iter
+    (fun a ->
+      Hashtbl.replace acceptance a [];
+      Hashtbl.replace utilization a [])
+    algos;
+  List.iter
+    (fun load ->
+      let rng = Topology.Rng.create seed in
+      let net = Exp_common.network rng ~n in
+      (* mean holding 100 time units; rate follows from the target load *)
+      let trace =
+        Dyn.poisson_trace rng net ~rate:(load /. 100.0) ~mean_holding:100.0
+          ~count:arrivals
+      in
+      List.iter
+        (fun algo ->
+          let s = Dyn.run net algo trace in
+          Hashtbl.replace acceptance algo
+            ((load, s.Dyn.acceptance_ratio) :: Hashtbl.find acceptance algo);
+          Hashtbl.replace utilization algo
+            ((load, s.Dyn.mean_utilization) :: Hashtbl.find utilization algo))
+        algos)
+    offered_loads;
+  let series tbl =
+    List.map
+      (fun algo ->
+        {
+          Exp_common.label = Adm.algorithm_to_string algo;
+          points = List.rev (Hashtbl.find tbl algo);
+        })
+      algos
+  in
+  let note =
+    Printf.sprintf
+      "n = %d, %d Poisson arrivals, exponential holding (mean 100); x = expected concurrent sessions"
+      n arrivals
+  in
+  [
+    {
+      Exp_common.id = "dynA";
+      title = "acceptance ratio vs offered load (with departures)";
+      xlabel = "offered load";
+      ylabel = "acceptance ratio";
+      series = series acceptance;
+      notes = [ note ];
+    };
+    {
+      Exp_common.id = "dynB";
+      title = "time-averaged link utilisation vs offered load";
+      xlabel = "offered load";
+      ylabel = "mean utilisation";
+      series = series utilization;
+      notes = [ note ];
+    };
+  ]

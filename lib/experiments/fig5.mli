@@ -1,0 +1,12 @@
+(** Fig. 5: [Appro_Multi] vs [Alg_One_Server] on GT-ITM-style random
+    networks of 50–250 switches — operational cost (a–c) and running
+    time (d–f), one subfigure per destination ratio
+    [D_max/|V| ∈ {0.05, 0.1, 0.2}], K = 3, uncapacitated.
+
+    Paper shape: Appro_Multi's cost ≈ 70–85 % of Alg_One_Server's, gap
+    widening with network size; Appro_Multi slightly slower. *)
+
+val run : ?seed:int -> ?requests:int -> ?sizes:int list -> unit -> Exp_common.figure list
+(** Defaults: seed 1, 30 requests averaged per data point (the paper
+    averages 1 000 — raise [requests] to match), sizes
+    [[50; 100; 150; 200; 250]]. *)

@@ -1,0 +1,10 @@
+(** Fig. 8: online algorithms [Online_CP] vs [SP] on GT-ITM-style
+    networks of 50–250 switches — admitted requests (a) and running time
+    (b) for a monitoring period of 300 requests.
+
+    Paper shape: Online_CP admits clearly more than SP (the paper
+    reports ≥ 2×), and admissions do not grow monotonically with network
+    size because destination sets scale with |V|. Our default sequence
+    length can be raised with [requests] to deepen contention. *)
+
+val run : ?seed:int -> ?requests:int -> ?sizes:int list -> unit -> Exp_common.figure list

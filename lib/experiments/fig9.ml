@@ -1,0 +1,46 @@
+module Adm = Nfv_multicast.Admission
+
+let algos = [ Adm.Online_cp; Adm.Online_cp_no_threshold; Adm.Sp ]
+
+let run ?(seed = 1) ?(requests = 1500) () =
+  let nets =
+    [
+      ("GEANT", 'a', fun rng -> Exp_common.geant_network rng);
+      ("AS1755", 'b', fun rng -> Exp_common.as1755_network rng);
+    ]
+  in
+  let prefixes =
+    List.filter
+      (fun p -> p <= requests)
+      [ 50; 100; 150; 200; 250; 300; 600; 1000; 1500 ]
+  in
+  List.map
+    (fun (name, tag, make_net) ->
+      let rng = Topology.Rng.create seed in
+      let net = make_net rng in
+      let reqs = Workload.Gen.sequence rng net ~count:requests in
+      let curve stats =
+        List.map
+          (fun p -> (float_of_int p, float_of_int (Adm.admitted_after stats p)))
+          prefixes
+      in
+      let series =
+        List.map
+          (fun algo ->
+            let stats = Adm.run net algo reqs in
+            { Exp_common.label = Adm.algorithm_to_string algo; points = curve stats })
+          algos
+      in
+      {
+        Exp_common.id = Printf.sprintf "fig9%c" tag;
+        title = "admitted requests vs sequence length in " ^ name;
+        xlabel = "requests";
+        ylabel = "admitted";
+        series;
+        notes =
+          [
+            Printf.sprintf "%s, K = 1, prefix counts of one %d-request run" name
+              requests;
+          ];
+      })
+    nets

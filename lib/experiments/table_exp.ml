@@ -1,0 +1,47 @@
+module Adm = Nfv_multicast.Admission
+module Rb = Nfv_multicast.Rule_budget
+
+let algos = [ Adm.Online_cp_no_threshold; Adm.Sp ]
+let capacities = [ 25; 50; 100; 200; 400 ]
+
+let run ?(seed = 1) ?(n = 100) ?(requests = 400) () =
+  let acc = Hashtbl.create 4 in
+  List.iter (fun a -> Hashtbl.replace acc a []) algos;
+  List.iter
+    (fun cap ->
+      let rng = Topology.Rng.create seed in
+      let net = Exp_common.network rng ~n in
+      let reqs = Workload.Gen.sequence rng net ~count:requests in
+      List.iter
+        (fun algo ->
+          Sdn.Network.reset net;
+          let budget = Rb.create net ~capacity:cap in
+          let admitted =
+            List.fold_left
+              (fun k r ->
+                match Rb.admit budget net algo r with
+                | Ok _ -> k + 1
+                | Error _ -> k)
+              0 reqs
+          in
+          Hashtbl.replace acc algo
+            ((float_of_int cap, float_of_int admitted) :: Hashtbl.find acc algo))
+        algos)
+    capacities;
+  [
+    {
+      Exp_common.id = "tableA";
+      title = "forwarding-table budgets: admitted vs per-switch capacity";
+      xlabel = "rules per switch";
+      ylabel = "admitted";
+      series =
+        List.map
+          (fun a ->
+            {
+              Exp_common.label = Adm.algorithm_to_string a;
+              points = List.rev (Hashtbl.find acc a);
+            })
+          algos;
+      notes = [ Printf.sprintf "n = %d, %d requests, K = 1" n requests ];
+    };
+  ]

@@ -1,0 +1,7 @@
+(** Extension experiment: per-switch forwarding-table capacity. Sweeps
+    the TCAM budget and reports how many of a long request sequence each
+    online algorithm can install — bandwidth and computing are generous
+    here, so the rule budget is the binding resource (the node-capacity
+    regime of Huang et al. [10]). *)
+
+val run : ?seed:int -> ?n:int -> ?requests:int -> unit -> Exp_common.figure list

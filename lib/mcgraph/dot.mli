@@ -1,0 +1,21 @@
+(** Graphviz DOT rendering of graphs and highlighted subgraphs. *)
+
+val graph :
+  ?name:string ->
+  ?node_label:(int -> string) ->
+  ?edge_label:(int -> string) ->
+  ?highlight_edges:int list ->
+  ?highlight_nodes:int list ->
+  Graph.t ->
+  string
+(** DOT source for an undirected graph. Highlighted edges are drawn bold
+    red (e.g. a multicast tree), highlighted nodes as doubled circles
+    (e.g. chosen servers). *)
+
+val tree :
+  ?name:string ->
+  ?node_label:(int -> string) ->
+  Graph.t ->
+  Tree.t ->
+  string
+(** DOT source for a rooted tree, drawn as a digraph away from the root. *)

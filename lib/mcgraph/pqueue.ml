@@ -1,0 +1,44 @@
+(* pairing heap *)
+type 'a t =
+  | Empty
+  | Node of float * 'a * 'a t list
+
+let empty = Empty
+
+let is_empty = function Empty -> true | Node _ -> false
+
+let meld a b =
+  match (a, b) with
+  | Empty, x | x, Empty -> x
+  | Node (pa, _, _), Node (pb, _, _) -> (
+    match (a, b) with
+    | Node (_, va, ca), Node (_, vb, cb) ->
+      if pa <= pb then Node (pa, va, b :: ca) else Node (pb, vb, a :: cb)
+    | _ -> assert false)
+
+let insert t p v = meld t (Node (p, v, []))
+
+let rec meld_pairs = function
+  | [] -> Empty
+  | [ x ] -> x
+  | a :: b :: rest -> meld (meld a b) (meld_pairs rest)
+
+let pop = function
+  | Empty -> None
+  | Node (p, v, children) -> Some (p, v, meld_pairs children)
+
+let peek = function Empty -> None | Node (p, v, _) -> Some (p, v)
+
+let rec size = function
+  | Empty -> 0
+  | Node (_, _, children) -> 1 + List.fold_left (fun acc c -> acc + size c) 0 children
+
+let of_list l = List.fold_left (fun t (p, v) -> insert t p v) empty l
+
+let to_sorted_list t =
+  let rec drain t acc =
+    match pop t with
+    | None -> List.rev acc
+    | Some (p, v, rest) -> drain rest ((p, v) :: acc)
+  in
+  drain t []

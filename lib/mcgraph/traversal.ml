@@ -1,0 +1,63 @@
+let always _ = true
+
+let bfs ?(keep = always) g ~source =
+  let dist = Array.make (Graph.n g) (-1) in
+  let q = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Graph.iter_neighbors g u (fun v e ->
+        if keep e && dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+  done;
+  dist
+
+let dfs_preorder ?(keep = always) g ~source =
+  let seen = Array.make (Graph.n g) false in
+  let order = ref [] in
+  let rec visit u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      order := u :: !order;
+      Graph.iter_neighbors g u (fun v e -> if keep e then visit v)
+    end
+  in
+  visit source;
+  List.rev !order
+
+let reachable ?(keep = always) g ~source =
+  let dist = bfs ~keep g ~source in
+  Array.map (fun d -> d >= 0) dist
+
+let components ?(keep = always) g =
+  let nn = Graph.n g in
+  let label = Array.make nn (-1) in
+  let count = ref 0 in
+  for s = 0 to nn - 1 do
+    if label.(s) < 0 then begin
+      let c = !count in
+      incr count;
+      let q = Queue.create () in
+      label.(s) <- c;
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        Graph.iter_neighbors g u (fun v e ->
+            if keep e && label.(v) < 0 then begin
+              label.(v) <- c;
+              Queue.add v q
+            end)
+      done
+    end
+  done;
+  (label, !count)
+
+let is_connected ?(keep = always) g =
+  Graph.n g <= 1 || snd (components ~keep g) = 1
+
+let in_same_component ?(keep = always) g u others =
+  let r = reachable ~keep g ~source:u in
+  List.for_all (fun v -> r.(v)) others

@@ -1,0 +1,23 @@
+(** Unweighted traversals: BFS, DFS, connected components.
+
+    All functions accept an optional [keep] predicate over edge ids;
+    edges for which [keep] is [false] are treated as absent. This is how
+    capacity-pruned residual graphs are traversed without copying. *)
+
+val bfs : ?keep:(int -> bool) -> Graph.t -> source:int -> int array
+(** Hop distances from [source]; [-1] for unreachable nodes. *)
+
+val dfs_preorder : ?keep:(int -> bool) -> Graph.t -> source:int -> int list
+(** Nodes of the component of [source] in DFS preorder. *)
+
+val components : ?keep:(int -> bool) -> Graph.t -> int array * int
+(** [(label, count)]: [label.(v)] is the component index of [v], in
+    [0 .. count-1]. *)
+
+val is_connected : ?keep:(int -> bool) -> Graph.t -> bool
+
+val reachable : ?keep:(int -> bool) -> Graph.t -> source:int -> bool array
+
+val in_same_component : ?keep:(int -> bool) -> Graph.t -> int -> int list -> bool
+(** Whether every node of the list lies in the component of the first
+    argument. *)

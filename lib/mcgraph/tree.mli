@@ -1,0 +1,60 @@
+(** Rooted trees over a subset of a graph's nodes.
+
+    Built from an acyclic, connected set of graph edge ids by orienting
+    them away from a chosen root. Provides the lowest-common-ancestor and
+    tree-path queries that pseudo-multicast-tree construction needs
+    (Algorithm 2, step 10 of the paper). *)
+
+type t
+
+val of_edges : Graph.t -> root:int -> int list -> t
+(** [of_edges g ~root edges] orients [edges] away from [root]. Raises
+    [Invalid_argument] if the edge set contains a cycle, a repeated edge,
+    or an edge not connected to [root]. *)
+
+val root : t -> int
+
+val mem : t -> int -> bool
+(** Whether a node belongs to the tree. *)
+
+val nodes : t -> int list
+(** Tree nodes in BFS order from the root. *)
+
+val size : t -> int
+(** Number of tree nodes. *)
+
+val edges : t -> int list
+(** The tree's edge ids. *)
+
+val parent : t -> int -> int
+(** Parent node; [-1] for the root. Raises [Invalid_argument] for
+    non-tree nodes. *)
+
+val parent_edge : t -> int -> int
+(** Edge to the parent; [-1] for the root. *)
+
+val depth : t -> int -> int
+
+val children : t -> int -> int list
+
+val leaves : t -> int list
+
+val lca : t -> int -> int -> int
+(** Lowest common ancestor of two tree nodes. *)
+
+val lca_many : t -> int list -> int
+(** Aggregate LCA, [lca (lca (… ) ) ]; raises [Invalid_argument] on an
+    empty list. *)
+
+val path_up : t -> int -> ancestor:int -> int list
+(** Edge ids from a node up to one of its ancestors, in travel order.
+    Raises [Invalid_argument] if [ancestor] is not an ancestor. *)
+
+val path_between : t -> int -> int -> int list
+(** Edge ids of the unique tree path between two nodes (via their LCA),
+    in travel order from the first node. *)
+
+val is_ancestor : t -> int -> descendant:int -> bool
+
+val in_subtree : t -> root_of_subtree:int -> int -> bool
+(** Whether a node lies in the subtree rooted at the given node. *)

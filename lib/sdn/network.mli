@@ -1,0 +1,128 @@
+(** The SDN substrate: a topology whose switches may carry servers
+    ([V_S]), with bandwidth capacities on links, computing capacities on
+    servers, unit usage costs, and mutable residual state (§III-A).
+
+    Residual state supports atomic multi-resource allocation with
+    rollback — the primitive online admission needs. All amounts are
+    Mbps (links) and MHz (servers). *)
+
+type t
+
+(** Parameter ranges used when attaching resources to a topology. The
+    defaults follow §VI-A of the paper: link capacity 1 000–10 000 Mbps,
+    server capacity 4 000–12 000 MHz; unit costs are drawn once per
+    resource (see DESIGN.md §4). *)
+type profile = {
+  link_capacity : float * float;
+  server_capacity : float * float;
+  link_unit_cost : float * float;
+  server_unit_cost : float * float;
+  link_delay : float * float;  (** propagation delay per link, ms *)
+}
+
+val default_profile : profile
+
+val uniform_profile : link_capacity:float -> server_capacity:float -> profile
+(** Degenerate ranges, for deterministic tests. Unit costs are 1. *)
+
+val make :
+  ?profile:profile ->
+  rng:Topology.Rng.t ->
+  servers:int list ->
+  Topology.Topo.t ->
+  t
+(** Attach resources to a topology. Raises [Invalid_argument] when the
+    server list is empty, out of range, or contains duplicates. *)
+
+val make_random_servers :
+  ?profile:profile ->
+  ?fraction:float ->
+  rng:Topology.Rng.t ->
+  Topology.Topo.t ->
+  t
+(** Place [fraction] (default 0.1, as in the paper) of the switches as
+    servers, uniformly at random (at least one). *)
+
+val make_explicit :
+  ?link_residuals:float array ->
+  ?server_residuals:(int * float) list ->
+  ?link_delays:float array ->
+  topology:Topology.Topo.t ->
+  servers:(int * float * float) list ->
+  link_capacities:float array ->
+  link_unit_costs:float array ->
+  unit ->
+  t
+(** Fully explicit construction (no randomness): [servers] lists
+    [(node, computing capacity, unit cost)]; link arrays are indexed by
+    edge id. Residuals default to the capacities. Used by
+    {!Snapshot} when reloading a dumped scenario. Raises
+    [Invalid_argument] on size mismatches or residuals outside
+    [0, capacity]. *)
+
+(** {1 Structure} *)
+
+val topology : t -> Topology.Topo.t
+val graph : t -> Mcgraph.Graph.t
+val n : t -> int
+val m : t -> int
+val servers : t -> int list
+val is_server : t -> int -> bool
+val server_count : t -> int
+
+(** {1 Capacities, residuals and unit costs} *)
+
+val link_capacity : t -> int -> float
+val link_residual : t -> int -> float
+val server_capacity : t -> int -> float
+(** Raises [Invalid_argument] for a non-server node; likewise below. *)
+
+val server_residual : t -> int -> float
+val link_unit_cost : t -> int -> float
+val server_unit_cost : t -> int -> float
+
+val link_delay : t -> int -> float
+(** Propagation delay of a link, in milliseconds. *)
+
+val chain_cost : t -> int -> Vnf.chain -> float
+(** [c_v(SC_k)]: unit cost at server [v] × consolidated chain demand. *)
+
+val link_admits : t -> int -> float -> bool
+(** Whether a link's residual bandwidth covers an amount. *)
+
+val server_admits : t -> int -> float -> bool
+
+(** {1 Atomic allocation} *)
+
+type allocation = {
+  links : (int * float) list;     (** (edge id, Mbps); repeats accumulate *)
+  nodes : (int * float) list;     (** (server node, MHz); repeats accumulate *)
+}
+
+val empty_allocation : allocation
+
+val can_allocate : t -> allocation -> bool
+
+val allocate : t -> allocation -> (unit, string) result
+(** Atomically commit, or change nothing and explain the failure. *)
+
+val release : t -> allocation -> unit
+(** Return previously allocated resources. Raises [Invalid_argument] if
+    a release would exceed a capacity (double free). *)
+
+val reset : t -> unit
+(** Restore all residuals to full capacity. *)
+
+(** {1 Metrics} *)
+
+val link_utilization : t -> int -> float
+(** In [0, 1]. *)
+
+val mean_link_utilization : t -> float
+val max_link_utilization : t -> float
+
+val jain_fairness : t -> float
+(** Jain index of link utilisations; 1 = perfectly balanced. Returns 1
+    when the network is idle. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+type t = {
+  id : int;
+  source : int;
+  destinations : int list;
+  bandwidth : float;
+  chain : Vnf.chain;
+  deadline : float option;
+}
+
+let make ~id ~source ~destinations ~bandwidth ~chain =
+  let deadline = None in
+  if destinations = [] then invalid_arg "Request.make: no destinations";
+  let uniq = List.sort_uniq compare destinations in
+  if List.length uniq <> List.length destinations then
+    invalid_arg "Request.make: duplicate destinations";
+  if List.mem source destinations then
+    invalid_arg "Request.make: source among destinations";
+  if bandwidth <= 0.0 then invalid_arg "Request.make: non-positive bandwidth";
+  if chain = [] then invalid_arg "Request.make: empty service chain";
+  { id; source; destinations; bandwidth; chain; deadline }
+
+let with_deadline t deadline =
+  if deadline <= 0.0 then invalid_arg "Request.with_deadline: non-positive deadline";
+  { t with deadline = Some deadline }
+
+let demand_mhz t = Vnf.chain_demand_mhz t.chain
+let terminal_count t = List.length t.destinations
+
+let pp ppf t =
+  Format.fprintf ppf "r%d: %d -> {%s} b=%.0fMbps %s" t.id t.source
+    (String.concat ", " (List.map string_of_int t.destinations))
+    t.bandwidth
+    (Vnf.chain_to_string t.chain)

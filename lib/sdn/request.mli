@@ -1,0 +1,31 @@
+(** NFV-enabled multicast requests:
+    [r_k = (s_k, D_k; b_k, SC_k)] (§III-B of the paper). *)
+
+type t = {
+  id : int;
+  source : int;                (** [s_k]: source switch *)
+  destinations : int list;     (** [D_k]: distinct, never containing the source *)
+  bandwidth : float;           (** [b_k] in Mbps *)
+  chain : Vnf.chain;           (** [SC_k] *)
+  deadline : float option;     (** optional end-to-end latency bound, ms
+                                   (delay-bounded extension) *)
+}
+
+val make :
+  id:int -> source:int -> destinations:int list -> bandwidth:float ->
+  chain:Vnf.chain -> t
+(** Validates: non-empty destination set without duplicates or the
+    source, positive bandwidth, non-empty chain. The deadline starts
+    unset ([None]). *)
+
+val with_deadline : t -> float -> t
+(** Attach a latency bound (ms). Raises [Invalid_argument] unless
+    positive. *)
+
+val demand_mhz : t -> float
+(** Computing demand of the request's consolidated service chain. *)
+
+val terminal_count : t -> int
+(** [|D_k|]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,306 @@
+module G = Mcgraph.Graph
+
+let fl x = Printf.sprintf "%h" x
+
+(* ---------- writing ---------- *)
+
+let network_to_buffer buf net =
+  let topo = Network.topology net in
+  let g = Network.graph net in
+  Buffer.add_string buf "nfvm-snapshot 1\n";
+  Buffer.add_string buf
+    (Printf.sprintf "topology %S %d %d\n" topo.Topology.Topo.name (G.n g) (G.m g));
+  G.iter_edges g (fun _ u v -> Buffer.add_string buf (Printf.sprintf "edge %d %d\n" u v));
+  (match topo.Topology.Topo.coords with
+  | None -> ()
+  | Some coords ->
+    Array.iter
+      (fun (x, y) -> Buffer.add_string buf (Printf.sprintf "coord %s %s\n" (fl x) (fl y)))
+      coords);
+  (match topo.Topology.Topo.node_names with
+  | None -> ()
+  | Some names ->
+    Array.iter
+      (fun name -> Buffer.add_string buf (Printf.sprintf "nodename %S\n" name))
+      names);
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "server %d %s %s %s\n" v
+           (fl (Network.server_capacity net v))
+           (fl (Network.server_unit_cost net v))
+           (fl (Network.server_residual net v))))
+    (Network.servers net);
+  for e = 0 to G.m g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "link %d %s %s %s %s\n" e
+         (fl (Network.link_capacity net e))
+         (fl (Network.link_unit_cost net e))
+         (fl (Network.link_residual net e))
+         (fl (Network.link_delay net e)))
+  done
+
+let network_to_string net =
+  let buf = Buffer.create 4096 in
+  network_to_buffer buf net;
+  Buffer.contents buf
+
+let request_line buf (r : Request.t) =
+  let deadline =
+    match r.Request.deadline with
+    | None -> ""
+    | Some d -> Printf.sprintf " deadline %s" (fl d)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "request %d %d %s chain %s dests %s%s\n" r.Request.id
+       r.Request.source
+       (fl r.Request.bandwidth)
+       (String.concat ","
+          (List.map Vnf.kind_to_string r.Request.chain))
+       (String.concat "," (List.map string_of_int r.Request.destinations))
+       deadline)
+
+let requests_to_string reqs =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "nfvm-snapshot 1\n";
+  List.iter (request_line buf) reqs;
+  Buffer.contents buf
+
+let scenario_to_string net reqs =
+  let buf = Buffer.create 4096 in
+  network_to_buffer buf net;
+  List.iter (request_line buf) reqs;
+  Buffer.contents buf
+
+(* ---------- reading ---------- *)
+
+type parse_state = {
+  mutable name : string;
+  mutable n : int;
+  mutable edges_rev : (int * int) list;
+  mutable coords_rev : (float * float) list;
+  mutable names_rev : string list;
+  mutable servers_rev : (int * float * float * float) list;
+  mutable links_rev : (int * float * float * float * float) list;
+  mutable requests_rev : Request.t list;
+}
+
+let parse_chain s =
+  let parts = String.split_on_char ',' s in
+  let kinds = List.map Vnf.kind_of_string parts in
+  if List.exists Option.is_none kinds then None
+  else Some (List.map Option.get kinds)
+
+let parse_line st line =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if String.trim line = "" then Ok ()
+  else
+    match String.split_on_char ' ' line with
+    | "nfvm-snapshot" :: [ "1" ] -> Ok ()
+    | "nfvm-snapshot" :: v -> fail "unsupported version %s" (String.concat " " v)
+    | [ "edge"; u; v ] -> (
+      match (int_of_string_opt u, int_of_string_opt v) with
+      | Some u, Some v ->
+        st.edges_rev <- (u, v) :: st.edges_rev;
+        Ok ()
+      | _ -> fail "bad edge line: %s" line)
+    | [ "coord"; x; y ] -> (
+      match (float_of_string_opt x, float_of_string_opt y) with
+      | Some x, Some y ->
+        st.coords_rev <- (x, y) :: st.coords_rev;
+        Ok ()
+      | _ -> fail "bad coord line: %s" line)
+    | [ "server"; v; cap; cost; res ] -> (
+      match
+        ( int_of_string_opt v,
+          float_of_string_opt cap,
+          float_of_string_opt cost,
+          float_of_string_opt res )
+      with
+      | Some v, Some cap, Some cost, Some res ->
+        st.servers_rev <- (v, cap, cost, res) :: st.servers_rev;
+        Ok ()
+      | _ -> fail "bad server line: %s" line)
+    | [ "link"; e; cap; cost; res ] | [ "link"; e; cap; cost; res; _ ] -> (
+      let delay =
+        match String.split_on_char ' ' line with
+        | [ _; _; _; _; _; d ] -> float_of_string_opt d
+        | _ -> Some 1.0 (* version-1 snapshots without delays *)
+      in
+      match
+        ( int_of_string_opt e,
+          float_of_string_opt cap,
+          float_of_string_opt cost,
+          float_of_string_opt res,
+          delay )
+      with
+      | Some e, Some cap, Some cost, Some res, Some delay ->
+        st.links_rev <- (e, cap, cost, res, delay) :: st.links_rev;
+        Ok ()
+      | _ -> fail "bad link line: %s" line)
+    | "request" :: id :: source :: b :: "chain" :: chain :: "dests" :: dests
+      :: deadline_part -> (
+      let deadline =
+        match deadline_part with
+        | [] -> Ok None
+        | [ "deadline"; d ] -> (
+          match float_of_string_opt d with
+          | Some d -> Ok (Some d)
+          | None -> Error ())
+        | _ -> Error ()
+      in
+      match
+        ( int_of_string_opt id,
+          int_of_string_opt source,
+          float_of_string_opt b,
+          parse_chain chain,
+          List.map int_of_string_opt (String.split_on_char ',' dests),
+          deadline )
+      with
+      | Some id, Some source, Some b, Some chain, dest_opts, Ok deadline
+        when List.for_all Option.is_some dest_opts -> (
+        match
+          Request.make ~id ~source
+            ~destinations:(List.map Option.get dest_opts)
+            ~bandwidth:b ~chain
+        with
+        | r ->
+          let r =
+            match deadline with
+            | None -> r
+            | Some d -> Request.with_deadline r d
+          in
+          st.requests_rev <- r :: st.requests_rev;
+          Ok ()
+        | exception Invalid_argument m -> fail "invalid request: %s" m)
+      | _ -> fail "bad request line: %s" line)
+    | "topology" :: rest -> (
+      (* the name is %S-quoted and may contain spaces: re-split on the
+         closing quote *)
+      let raw = String.concat " " rest in
+      try
+        Scanf.sscanf raw "%S %d %d" (fun name n _m ->
+            st.name <- name;
+            st.n <- n);
+        Ok ()
+      with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+        fail "bad topology line: %s" line)
+    | "nodename" :: rest -> (
+      let raw = String.concat " " rest in
+      try
+        Scanf.sscanf raw "%S" (fun name ->
+            st.names_rev <- name :: st.names_rev);
+        Ok ()
+      with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+        fail "bad nodename line: %s" line)
+    | _ -> fail "unrecognised line: %s" line
+
+let parse text =
+  let st =
+    {
+      name = "";
+      n = -1;
+      edges_rev = [];
+      coords_rev = [];
+      names_rev = [];
+      servers_rev = [];
+      links_rev = [];
+      requests_rev = [];
+    }
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go = function
+    | [] -> Ok st
+    | l :: rest -> (
+      match parse_line st l with
+      | Ok () -> go rest
+      | Error _ as e -> e)
+  in
+  go lines
+
+let build_network st =
+  if st.n < 0 then Error "missing topology line"
+  else begin
+    match
+      let g = G.create st.n in
+      List.iter
+        (fun (u, v) -> ignore (G.add_edge g u v))
+        (List.rev st.edges_rev);
+      g
+    with
+    | exception Invalid_argument m -> Error m
+    | g ->
+    let coords =
+      match List.rev st.coords_rev with
+      | [] -> None
+      | l -> Some (Array.of_list l)
+    in
+    let node_names =
+      match List.rev st.names_rev with
+      | [] -> None
+      | l -> Some (Array.of_list l)
+    in
+    match Topology.Topo.make ?coords ?node_names ~name:st.name g with
+    | exception Invalid_argument m -> Error m
+    | topo ->
+      let mm = G.m g in
+      let link_capacities = Array.make mm 0.0 in
+      let link_unit_costs = Array.make mm 0.0 in
+      let link_residuals = Array.make mm 0.0 in
+      let link_delays = Array.make mm 1.0 in
+      let seen = Array.make mm false in
+      let link_err = ref None in
+      List.iter
+        (fun (e, cap, cost, res, delay) ->
+          if e < 0 || e >= mm then link_err := Some "link id out of range"
+          else begin
+            seen.(e) <- true;
+            link_capacities.(e) <- cap;
+            link_unit_costs.(e) <- cost;
+            link_residuals.(e) <- res;
+            link_delays.(e) <- delay
+          end)
+        st.links_rev;
+      if !link_err <> None then Error (Option.get !link_err)
+      else if not (Array.for_all Fun.id seen) then Error "missing link line"
+      else begin
+        let servers =
+          List.rev_map (fun (v, cap, cost, _) -> (v, cap, cost)) st.servers_rev
+        in
+        let server_residuals =
+          List.rev_map (fun (v, _, _, res) -> (v, res)) st.servers_rev
+        in
+        match
+          Network.make_explicit ~link_residuals ~server_residuals ~link_delays
+            ~topology:topo ~servers ~link_capacities ~link_unit_costs ()
+        with
+        | net -> Ok net
+        | exception Invalid_argument m -> Error m
+      end
+  end
+
+let network_of_string text =
+  Result.bind (parse text) build_network
+
+let requests_of_string text =
+  Result.map (fun st -> List.rev st.requests_rev) (parse text)
+
+let scenario_of_string text =
+  Result.bind (parse text) (fun st ->
+      Result.map
+        (fun net -> (net, List.rev st.requests_rev))
+        (build_network st))
+
+let save path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let load path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    Ok s

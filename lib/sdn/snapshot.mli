@@ -1,0 +1,28 @@
+(** Plain-text snapshots of scenarios — network state and request
+    sequences — for reproducible exchange and regression fixtures.
+
+    The format is line-oriented and versioned ([nfvm-snapshot 1]); floats
+    round-trip exactly (hex float literals). No external serialisation
+    library is used. *)
+
+val network_to_string : Network.t -> string
+
+val network_of_string : string -> (Network.t, string) result
+(** Rebuilds the topology (name, coordinates and node names included)
+    and the exact capacities, unit costs and current residuals. *)
+
+val requests_to_string : Request.t list -> string
+
+val requests_of_string : string -> (Request.t list, string) result
+
+val scenario_to_string : Network.t -> Request.t list -> string
+(** Network followed by its request sequence, one self-contained
+    document. *)
+
+val scenario_of_string : string -> (Network.t * Request.t list, string) result
+
+val save : string -> string -> unit
+(** [save path contents] — write a snapshot file. *)
+
+val load : string -> (string, string) result
+(** Read a file's contents ([Error] on I/O failure). *)

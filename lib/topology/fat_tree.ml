@@ -1,0 +1,43 @@
+let check k =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Fat_tree: arity must be even and >= 2"
+
+let half k = k / 2
+let num_core k = half k * half k
+
+(* layout: cores [0 .. (k/2)²-1], then for pod p: aggs, then edges *)
+let agg_id k pod i = num_core k + (pod * k) + i
+let edge_id k pod i = num_core k + (pod * k) + half k + i
+
+let core_switches ~k =
+  check k;
+  List.init (num_core k) Fun.id
+
+let aggregation_switches ~k =
+  check k;
+  List.concat_map (fun p -> List.init (half k) (agg_id k p)) (List.init k Fun.id)
+
+let edge_switches ~k =
+  check k;
+  List.concat_map (fun p -> List.init (half k) (edge_id k p)) (List.init k Fun.id)
+
+let generate ?name ~k () =
+  check k;
+  let h = half k in
+  let total = num_core k + (k * k) in
+  let g = Mcgraph.Graph.create total in
+  for pod = 0 to k - 1 do
+    (* intra-pod complete bipartite agg × edge *)
+    for a = 0 to h - 1 do
+      for e = 0 to h - 1 do
+        ignore (Mcgraph.Graph.add_edge g (agg_id k pod a) (edge_id k pod e))
+      done
+    done;
+    (* aggregation a of every pod connects to cores [a·h .. a·h + h − 1] *)
+    for a = 0 to h - 1 do
+      for c = 0 to h - 1 do
+        ignore (Mcgraph.Graph.add_edge g (agg_id k pod a) ((a * h) + c))
+      done
+    done
+  done;
+  let name = Option.value name ~default:(Printf.sprintf "fat-tree-%d" k) in
+  Topo.make ~name g

@@ -1,0 +1,16 @@
+(** k-ary fat-tree topologies (switch level), the canonical data-center
+    fabric motivating the paper's "system monitoring in data centers"
+    workload. For an even arity [k] there are [(k/2)²] core switches and
+    [k] pods of [k/2] aggregation plus [k/2] edge switches. *)
+
+val generate : ?name:string -> k:int -> unit -> Topo.t
+(** Raises [Invalid_argument] when [k] is odd or [k < 2]. *)
+
+val core_switches : k:int -> int list
+(** Node ids of the core layer. *)
+
+val aggregation_switches : k:int -> int list
+
+val edge_switches : k:int -> int list
+(** Node ids of the edge layer — where servers and multicast endpoints
+    naturally attach. *)

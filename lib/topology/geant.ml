@@ -1,0 +1,72 @@
+(* 40 GÉANT points of presence. The link list follows the 2012 public
+   topology map; a handful of low-degree access links are simplified.
+   Ids are alphabetical. *)
+let cities =
+  [|
+    "Amsterdam"; "Athens"; "Belgrade"; "Bratislava"; "Brussels"; "Bucharest";
+    "Budapest"; "Copenhagen"; "Dublin"; "Frankfurt"; "Geneva"; "Helsinki";
+    "Istanbul"; "Kaunas"; "Kiev"; "Lisbon"; "Ljubljana"; "London";
+    "Luxembourg"; "Madrid"; "Malta"; "Milan"; "Moscow"; "Nicosia"; "Oslo";
+    "Paris"; "Prague"; "Riga"; "Rome"; "Sofia"; "Stockholm"; "Tallinn";
+    "Tirana"; "Vienna"; "Vilnius"; "Warsaw"; "Zagreb"; "Zurich"; "Bern";
+    "Reykjavik";
+  |]
+
+let id name =
+  let rec find i =
+    if i >= Array.length cities then invalid_arg ("Geant: unknown city " ^ name)
+    else if cities.(i) = name then i
+    else find (i + 1)
+  in
+  find 0
+
+let links =
+  [
+    ("Amsterdam", "Brussels"); ("Amsterdam", "Copenhagen");
+    ("Amsterdam", "Frankfurt"); ("Amsterdam", "London");
+    ("Athens", "Milan"); ("Athens", "Vienna"); ("Athens", "Nicosia");
+    ("Belgrade", "Budapest"); ("Belgrade", "Sofia"); ("Belgrade", "Zagreb");
+    ("Bratislava", "Vienna"); ("Bratislava", "Budapest");
+    ("Brussels", "Paris"); ("Brussels", "Luxembourg");
+    ("Bucharest", "Budapest"); ("Bucharest", "Sofia"); ("Bucharest", "Kiev");
+    ("Budapest", "Prague"); ("Budapest", "Zagreb");
+    ("Copenhagen", "Oslo"); ("Copenhagen", "Stockholm");
+    ("Copenhagen", "Frankfurt"); ("Copenhagen", "Reykjavik");
+    ("Dublin", "London"); ("Dublin", "Reykjavik");
+    ("Frankfurt", "Geneva"); ("Frankfurt", "Prague"); ("Frankfurt", "Luxembourg");
+    ("Frankfurt", "Moscow"); ("Frankfurt", "Vienna");
+    ("Geneva", "Madrid"); ("Geneva", "Milan"); ("Geneva", "Paris");
+    ("Geneva", "Bern");
+    ("Helsinki", "Stockholm"); ("Helsinki", "Tallinn");
+    ("Istanbul", "Bucharest"); ("Istanbul", "Sofia"); ("Istanbul", "Nicosia");
+    ("Kaunas", "Riga"); ("Kaunas", "Warsaw");
+    ("Kiev", "Warsaw"); ("Kiev", "Moscow");
+    ("Lisbon", "London"); ("Lisbon", "Madrid");
+    ("Ljubljana", "Vienna"); ("Ljubljana", "Zagreb");
+    ("London", "Paris");
+    ("Madrid", "Paris");
+    ("Malta", "Milan"); ("Malta", "Rome");
+    ("Milan", "Vienna"); ("Milan", "Rome"); ("Milan", "Zurich");
+    ("Moscow", "Stockholm");
+    ("Prague", "Vienna"); ("Prague", "Warsaw");
+    ("Riga", "Tallinn");
+    ("Rome", "Tirana");
+    ("Sofia", "Tirana");
+    ("Stockholm", "Tallinn");
+    ("Vienna", "Warsaw"); ("Vienna", "Zurich");
+    ("Vilnius", "Kaunas"); ("Vilnius", "Warsaw");
+    ("Zurich", "Bern");
+  ]
+
+let topology () =
+  let g = Mcgraph.Graph.create (Array.length cities) in
+  List.iter (fun (a, b) -> ignore (Mcgraph.Graph.add_edge g (id a) (id b))) links;
+  Topo.make ~node_names:(Array.copy cities) ~name:"GEANT" g
+
+(* nine servers at the best-connected PoPs, matching the paper's count *)
+let default_servers =
+  List.map id
+    [
+      "Frankfurt"; "Vienna"; "Geneva"; "Milan"; "Copenhagen"; "Amsterdam";
+      "London"; "Budapest"; "Paris";
+    ]

@@ -1,0 +1,12 @@
+(** The GÉANT pan-European research network topology.
+
+    Embedded from the public 2012 GÉANT map (40 points of presence,
+    61 links, approximate wiring — see DESIGN.md §4). The paper places
+    nine servers in GÉANT following Gushchin et al.; [default_servers]
+    reproduces that count at well-connected PoPs. *)
+
+val topology : unit -> Topo.t
+(** A fresh copy of the GÉANT topology (safe to mutate). *)
+
+val default_servers : int list
+(** Nine server locations (node ids), at the highest-degree PoPs. *)

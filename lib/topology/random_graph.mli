@@ -1,0 +1,11 @@
+(** Simple random graph families used in tests and property checks. *)
+
+val erdos_renyi : ?name:string -> Rng.t -> n:int -> p:float -> Topo.t
+(** G(n, p), made connected by random inter-component links. *)
+
+val gnm : ?name:string -> Rng.t -> n:int -> m:int -> Topo.t
+(** A connected graph with exactly [max m (n-1)] edges: a random spanning
+    tree plus uniformly random extra edges (no parallels). *)
+
+val random_tree : ?name:string -> Rng.t -> n:int -> Topo.t
+(** A uniformly random labelled tree (random attachment). *)

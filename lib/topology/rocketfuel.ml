@@ -1,0 +1,34 @@
+(* Preferential attachment produces the heavy-tailed degrees observed in
+   Rocketfuel backbones; extra random links raise the edge count to the
+   published value and add the meshiness of real ISP cores. *)
+let synthetic_isp ?name ~seed ~n ~m () =
+  if n < 3 then invalid_arg "Rocketfuel.synthetic_isp: too small";
+  if m < n - 1 then invalid_arg "Rocketfuel.synthetic_isp: m < n - 1";
+  let rng = Rng.create seed in
+  let g = Mcgraph.Graph.create n in
+  (* endpoint pool: every endpoint occurrence is one ticket, so picking a
+     uniform ticket is degree-proportional attachment *)
+  let pool = ref [ 0; 1 ] in
+  ignore (Mcgraph.Graph.add_edge g 0 1);
+  for v = 2 to n - 1 do
+    let tickets = Array.of_list !pool in
+    let target = tickets.(Rng.int rng (Array.length tickets)) in
+    ignore (Mcgraph.Graph.add_edge g v target);
+    pool := v :: target :: !pool
+  done;
+  let guard = ref 0 in
+  while Mcgraph.Graph.m g < m && !guard < 1000 * m do
+    incr guard;
+    let tickets = Array.of_list !pool in
+    let u = tickets.(Rng.int rng (Array.length tickets)) in
+    let v = Rng.int rng n in
+    if u <> v && not (Mcgraph.Graph.mem_edge g u v) then begin
+      ignore (Mcgraph.Graph.add_edge g u v);
+      pool := u :: v :: !pool
+    end
+  done;
+  let name = Option.value name ~default:(Printf.sprintf "isp-%d-%d" n m) in
+  Topo.make ~name g
+
+let as1755 () = synthetic_isp ~name:"AS1755" ~seed:1755 ~n:87 ~m:161 ()
+let as4755 () = synthetic_isp ~name:"AS4755" ~seed:4755 ~n:41 ~m:68 ()

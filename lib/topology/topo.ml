@@ -1,0 +1,46 @@
+type t = {
+  name : string;
+  graph : Mcgraph.Graph.t;
+  coords : (float * float) array option;
+  node_names : string array option;
+}
+
+let make ?coords ?node_names ~name graph =
+  let nn = Mcgraph.Graph.n graph in
+  (match coords with
+  | Some c when Array.length c <> nn ->
+    invalid_arg "Topo.make: coords size mismatch"
+  | _ -> ());
+  (match node_names with
+  | Some names when Array.length names <> nn ->
+    invalid_arg "Topo.make: node_names size mismatch"
+  | _ -> ());
+  { name; graph; coords; node_names }
+
+let n t = Mcgraph.Graph.n t.graph
+let m t = Mcgraph.Graph.m t.graph
+
+let is_connected t = Mcgraph.Traversal.is_connected t.graph
+
+let node_name t v =
+  match t.node_names with
+  | Some names when v >= 0 && v < Array.length names -> names.(v)
+  | _ -> string_of_int v
+
+let connect_components rng t =
+  let g = t.graph in
+  let rec join () =
+    let label, count = Mcgraph.Traversal.components g in
+    if count > 1 then begin
+      (* pick a random node in component 0 and one outside, link them *)
+      let inside = ref [] and outside = ref [] in
+      Array.iteri
+        (fun v c -> if c = 0 then inside := v :: !inside else outside := v :: !outside)
+        label;
+      let pick l = List.nth l (Rng.int rng (List.length l)) in
+      ignore (Mcgraph.Graph.add_edge g (pick !inside) (pick !outside));
+      join ()
+    end
+  in
+  join ();
+  t

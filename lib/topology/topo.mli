@@ -1,0 +1,32 @@
+(** Network topologies: a named node/edge structure, optionally with
+    plane coordinates (used by Waxman generation and DOT layouts).
+    Capacities and costs are attached later by [Sdn.Network]. *)
+
+type t = {
+  name : string;
+  graph : Mcgraph.Graph.t;
+  coords : (float * float) array option;  (** one point per node, if geometric *)
+  node_names : string array option;       (** human names (e.g. GÉANT cities) *)
+}
+
+val make :
+  ?coords:(float * float) array ->
+  ?node_names:string array ->
+  name:string ->
+  Mcgraph.Graph.t ->
+  t
+(** Raises [Invalid_argument] when the optional arrays do not match the
+    graph's node count. *)
+
+val n : t -> int
+val m : t -> int
+
+val is_connected : t -> bool
+
+val node_name : t -> int -> string
+(** Human name when available, otherwise the node id as a string. *)
+
+val connect_components : Rng.t -> t -> t
+(** Add uniformly random edges between distinct components until the
+    topology is connected (identity when already connected). Used by
+    random generators that may produce disconnected draws. *)

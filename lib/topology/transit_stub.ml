@@ -1,0 +1,105 @@
+type params = {
+  transit_domains : int;
+  transit_size : int;
+  stubs_per_transit_node : int;
+  stub_size : int;
+  extra_transit_edges : float;
+  extra_stub_edges : float;
+}
+
+let default_params =
+  {
+    transit_domains = 2;
+    transit_size = 4;
+    stubs_per_transit_node = 3;
+    stub_size = 3;
+    extra_transit_edges = 0.5;
+    extra_stub_edges = 0.3;
+  }
+
+(* connected random cluster: a random attachment tree plus extra edges *)
+let add_cluster g rng nodes density =
+  (match nodes with
+  | [] | [ _ ] -> ()
+  | first :: rest ->
+    let seen = ref [ first ] in
+    List.iter
+      (fun v ->
+        let anchor = List.nth !seen (Rng.int rng (List.length !seen)) in
+        ignore (Mcgraph.Graph.add_edge g v anchor);
+        seen := v :: !seen)
+      rest);
+  let arr = Array.of_list nodes in
+  let k = Array.length arr in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      if
+        (not (Mcgraph.Graph.mem_edge g arr.(i) arr.(j)))
+        && Rng.float rng 1.0 < density
+      then ignore (Mcgraph.Graph.add_edge g arr.(i) arr.(j))
+    done
+  done
+
+let generate ?(params = default_params) ?name rng =
+  let p = params in
+  if p.transit_domains < 1 || p.transit_size < 1 || p.stub_size < 1 then
+    invalid_arg "Transit_stub.generate: bad parameters";
+  let per_transit_node = p.stubs_per_transit_node * p.stub_size in
+  let per_domain = p.transit_size * (1 + per_transit_node) in
+  let total = p.transit_domains * per_domain in
+  let g = Mcgraph.Graph.create total in
+  (* node layout: all transit nodes first, then stub nodes *)
+  let transit_of d i = (d * p.transit_size) + i in
+  let num_transit = p.transit_domains * p.transit_size in
+  let next_stub = ref num_transit in
+  for d = 0 to p.transit_domains - 1 do
+    let transit_nodes = List.init p.transit_size (transit_of d) in
+    add_cluster g rng transit_nodes p.extra_transit_edges;
+    List.iter
+      (fun t ->
+        for _ = 1 to p.stubs_per_transit_node do
+          let stub = List.init p.stub_size (fun i -> !next_stub + i) in
+          next_stub := !next_stub + p.stub_size;
+          add_cluster g rng stub p.extra_stub_edges;
+          (* stub gateway attaches to its transit node *)
+          match stub with
+          | gw :: _ -> ignore (Mcgraph.Graph.add_edge g gw t)
+          | [] -> ()
+        done)
+      transit_nodes
+  done;
+  (* inter-domain backbone links: ring plus a few chords *)
+  for d = 0 to p.transit_domains - 1 do
+    if p.transit_domains > 1 then begin
+      let d' = (d + 1) mod p.transit_domains in
+      let a = transit_of d (Rng.int rng p.transit_size) in
+      let b = transit_of d' (Rng.int rng p.transit_size) in
+      if a <> b && not (Mcgraph.Graph.mem_edge g a b) then
+        ignore (Mcgraph.Graph.add_edge g a b)
+    end
+  done;
+  let name = Option.value name ~default:(Printf.sprintf "transit-stub-%d" total) in
+  Topo.connect_components rng (Topo.make ~name g)
+
+(* grow stub sizes until the parameterised total reaches n, then truncate *)
+let generate_sized ?name rng ~n =
+  if n < 10 then invalid_arg "Transit_stub.generate_sized: too small";
+  let pick =
+    (* per domain: NT·(1 + S·NS); scale domains with n, keep NT/S/NS fixed *)
+    let nt = 4 and s = 3 and ns = 3 in
+    let per_domain = nt * (1 + (s * ns)) in
+    let domains = max 1 ((n + per_domain - 1) / per_domain) in
+    { default_params with transit_domains = domains; transit_size = nt;
+      stubs_per_transit_node = s; stub_size = ns }
+  in
+  let topo = generate ~params:pick ?name rng in
+  let total = Topo.n topo in
+  if total = n then topo
+  else begin
+    (* rebuild with the first n nodes; re-add edges inside the cut *)
+    let g = Mcgraph.Graph.create n in
+    Mcgraph.Graph.iter_edges topo.Topo.graph (fun _ u v ->
+        if u < n && v < n then ignore (Mcgraph.Graph.add_edge g u v));
+    let name = Option.value name ~default:(Printf.sprintf "transit-stub-%d" n) in
+    Topo.connect_components rng (Topo.make ~name g)
+  end

@@ -1,0 +1,27 @@
+(** GT-ITM-style transit–stub topologies.
+
+    The generator the paper cites for its random SDNs produces two-level
+    hierarchies: a small number of well-meshed {e transit} domains
+    (backbones) and many {e stub} domains (edge networks) hanging off
+    transit nodes. Multicast destinations scattered across stubs make
+    traffic cross the backbone — the regime in which server placement
+    matters. *)
+
+type params = {
+  transit_domains : int;        (** T: number of transit domains *)
+  transit_size : int;           (** NT: nodes per transit domain *)
+  stubs_per_transit_node : int; (** S *)
+  stub_size : int;              (** NS: nodes per stub domain *)
+  extra_transit_edges : float;  (** density of intra-transit meshing, 0–1 *)
+  extra_stub_edges : float;     (** density of intra-stub meshing, 0–1 *)
+}
+
+val default_params : params
+
+val generate : ?params:params -> ?name:string -> Rng.t -> Topo.t
+(** Total size [T·NT·(1 + S·NS)]. *)
+
+val generate_sized : ?name:string -> Rng.t -> n:int -> Topo.t
+(** Pick parameters so the total node count is approximately [n]
+    (never less than [n] − the last stub may be truncated to hit [n]
+    exactly). Raises [Invalid_argument] when [n < 10]. *)

@@ -1,0 +1,22 @@
+let generate ?(alpha = 0.4) ?(beta = 0.25) ?name rng ~n =
+  if n < 2 then invalid_arg "Waxman.generate: need at least 2 nodes";
+  let coords = Array.init n (fun _ -> (Rng.float rng 1.0, Rng.float rng 1.0)) in
+  let dist i j =
+    let xi, yi = coords.(i) and xj, yj = coords.(j) in
+    sqrt (((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0))
+  in
+  let max_dist = ref epsilon_float in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if dist i j > !max_dist then max_dist := dist i j
+    done
+  done;
+  let g = Mcgraph.Graph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let p = alpha *. exp (-.dist i j /. (beta *. !max_dist)) in
+      if Rng.float rng 1.0 < p then ignore (Mcgraph.Graph.add_edge g i j)
+    done
+  done;
+  let name = Option.value name ~default:(Printf.sprintf "waxman-%d" n) in
+  Topo.connect_components rng (Topo.make ~coords ~name g)

@@ -1,0 +1,18 @@
+(** Waxman random topologies — the model implemented by GT-ITM's flat
+    method, which the paper uses to generate its 50–250 node SDNs.
+
+    Nodes are placed uniformly in the unit square; an edge (u, v) exists
+    with probability [alpha · exp (−d(u,v) / (beta · L))] where [L] is
+    the maximum inter-node distance. The result is post-processed to be
+    connected (random inter-component links), matching how simulation
+    studies use GT-ITM output. *)
+
+val generate :
+  ?alpha:float ->
+  ?beta:float ->
+  ?name:string ->
+  Rng.t ->
+  n:int ->
+  Topo.t
+(** Defaults [alpha = 0.4], [beta = 0.25]: average degree ≈ 4–7 over the
+    paper's size range. Raises [Invalid_argument] when [n < 2]. *)

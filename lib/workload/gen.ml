@@ -1,0 +1,39 @@
+module Rng = Topology.Rng
+
+type spec = {
+  dmax_ratio : float option;
+  bandwidth : float * float;
+  chain : Sdn.Vnf.chain option;
+  deadline : (float * float) option;
+}
+
+let default_spec =
+  { dmax_ratio = None; bandwidth = (50.0, 200.0); chain = None; deadline = None }
+
+let request ?(spec = default_spec) rng net ~id =
+  let nn = Sdn.Network.n net in
+  if nn < 2 then invalid_arg "Gen.request: network too small";
+  let source = Rng.int rng nn in
+  let ratio =
+    match spec.dmax_ratio with
+    | Some r -> r
+    | None -> Rng.float_range rng 0.05 0.2
+  in
+  let dmax = max 1 (int_of_float (ratio *. float_of_int nn)) in
+  let dmax = min dmax (nn - 1) in
+  let count = 1 + Rng.int rng dmax in
+  (* sample from all switches except the source *)
+  let picks = Rng.sample_without_replacement rng count (nn - 1) in
+  let destinations = List.map (fun i -> if i >= source then i + 1 else i) picks in
+  let lo, hi = spec.bandwidth in
+  let bandwidth = Rng.float_range rng lo hi in
+  let chain =
+    match spec.chain with Some c -> c | None -> Sdn.Vnf.random_chain rng
+  in
+  let r = Sdn.Request.make ~id ~source ~destinations ~bandwidth ~chain in
+  match spec.deadline with
+  | None -> r
+  | Some (lo, hi) -> Sdn.Request.with_deadline r (Rng.float_range rng lo hi)
+
+let sequence ?spec rng net ~count =
+  List.init count (fun id -> request ?spec rng net ~id)

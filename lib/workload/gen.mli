@@ -1,0 +1,28 @@
+(** Multicast request generation with the paper's evaluation parameters
+    (§VI-A): random source and destinations, destination-set size bounded
+    by [D_max = ratio·|V|] with the ratio drawn from [0.05, 0.2] unless
+    fixed, bandwidth uniform in [50, 200] Mbps, and a random service
+    chain over the five NFV types. *)
+
+type spec = {
+  dmax_ratio : float option;
+      (** fix [D_max/|V|]; [None] draws it uniformly from [0.05, 0.2]
+          per request, as in the default setting *)
+  bandwidth : float * float;  (** Mbps range, default [(50, 200)] *)
+  chain : Sdn.Vnf.chain option;  (** fix the chain; [None] draws randomly *)
+  deadline : (float * float) option;
+      (** draw an end-to-end latency bound (ms) from this range;
+          [None] (default) leaves requests unbounded *)
+}
+
+val default_spec : spec
+
+val request :
+  ?spec:spec -> Topology.Rng.t -> Sdn.Network.t -> id:int -> Sdn.Request.t
+(** One random request over the network's switches. The destination
+    count is uniform in [1 .. max 1 (D_max)] and never includes the
+    source. *)
+
+val sequence :
+  ?spec:spec -> Topology.Rng.t -> Sdn.Network.t -> count:int -> Sdn.Request.t list
+(** [count] independent requests with ids [0 .. count-1]. *)

@@ -1,0 +1,101 @@
+module B = Nfv_multicast.Batch
+module N = Sdn.Network
+module Rng = Topology.Rng
+
+let mk seed count =
+  let rng = Rng.create seed in
+  let topo = Topology.Waxman.generate ~alpha:0.35 ~beta:0.3 rng ~n:40 in
+  let net = N.make_random_servers ~fraction:0.15 ~rng topo in
+  let reqs = Workload.Gen.sequence rng net ~count in
+  (net, reqs)
+
+let test_order_names () =
+  Alcotest.(check string) "arrival" "arrival" (B.order_to_string B.Arrival);
+  Alcotest.(check string) "smallest" "smallest-first"
+    (B.order_to_string B.Smallest_first);
+  Alcotest.(check string) "largest" "largest-first"
+    (B.order_to_string B.Largest_first);
+  Alcotest.(check string) "cheapest" "cheapest-first"
+    (B.order_to_string B.Cheapest_first)
+
+let test_plan_counts () =
+  let net, reqs = mk 1 40 in
+  let r = B.plan ~k:2 net reqs B.Arrival in
+  Alcotest.(check int) "partition" 40 (r.B.admitted + r.B.rejected);
+  Alcotest.(check int) "trees recorded" r.B.admitted (List.length r.B.trees);
+  Alcotest.(check bool) "cost accumulates" true
+    (r.B.total_cost > 0.0 || r.B.admitted = 0)
+
+let test_plan_trees_valid () =
+  let net, reqs = mk 2 30 in
+  let r = B.plan ~k:2 net reqs B.Smallest_first in
+  List.iter
+    (fun (_, t) ->
+      match Nfv_multicast.Pseudo_tree.validate net t with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "invalid tree: %s" e)
+    r.B.trees
+
+let test_compare_orders_covers_all () =
+  let net, reqs = mk 3 25 in
+  let results = B.compare_orders ~k:2 net reqs in
+  Alcotest.(check int) "four policies" 4 (List.length results);
+  List.iter
+    (fun (o, (r : B.result)) ->
+      Alcotest.(check bool) "order echoed" true (r.B.order = o))
+    results
+
+let test_light_load_order_irrelevant () =
+  (* with almost no contention every order admits everything *)
+  let net, reqs = mk 4 5 in
+  let results = B.compare_orders ~k:2 net reqs in
+  List.iter
+    (fun (_, (r : B.result)) -> Alcotest.(check int) "all admitted" 5 r.B.admitted)
+    results
+
+let prop_capacity_safe =
+  Tutil.qtest ~count:20 "batch planning never exceeds capacity"
+    QCheck.(pair (int_bound 10_000) (int_bound 3))
+    (fun (seed, oi) ->
+      let order = [| B.Arrival; B.Smallest_first; B.Largest_first; B.Cheapest_first |].(oi) in
+      let net, reqs = mk (seed + 7) 50 in
+      ignore (B.plan ~k:2 net reqs order);
+      let ok = ref true in
+      for e = 0 to N.m net - 1 do
+        if N.link_residual net e < -1e-6 then ok := false
+      done;
+      !ok)
+
+(* the packing-order advantage is statistical, not per-draw: aggregate
+   over several fixed seeds *)
+let test_smallest_beats_largest_in_aggregate () =
+  let small_total = ref 0 and large_total = ref 0 in
+  List.iter
+    (fun seed ->
+      let net, reqs = mk (seed + 300) 120 in
+      let small = B.plan ~k:1 net reqs B.Smallest_first in
+      let large = B.plan ~k:1 net reqs B.Largest_first in
+      small_total := !small_total + small.B.admitted;
+      large_total := !large_total + large.B.admitted)
+    [ 0; 1; 2; 3; 4; 5 ];
+  Alcotest.(check bool) "aggregate ordering advantage" true
+    (!small_total >= !large_total)
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "order names" `Quick test_order_names;
+          Alcotest.test_case "plan counters" `Quick test_plan_counts;
+          Alcotest.test_case "trees valid" `Quick test_plan_trees_valid;
+          Alcotest.test_case "compare_orders" `Quick test_compare_orders_covers_all;
+          Alcotest.test_case "light load" `Quick test_light_load_order_irrelevant;
+        ] );
+      ( "statistical",
+        [
+          Alcotest.test_case "smallest beats largest in aggregate" `Slow
+            test_smallest_beats_largest_in_aggregate;
+        ] );
+      ("property", [ prop_capacity_safe ]);
+    ]

@@ -1,0 +1,171 @@
+module Pq = Mcgraph.Pqueue
+module Dyn = Nfv_multicast.Dynamic
+module Adm = Nfv_multicast.Admission
+module N = Sdn.Network
+module Rng = Topology.Rng
+
+(* --- pairing heap --- *)
+
+let test_pq_basic () =
+  let q = Pq.of_list [ (3.0, "c"); (1.0, "a"); (2.0, "b") ] in
+  Alcotest.(check int) "size" 3 (Pq.size q);
+  Alcotest.(check (list (pair (float 0.0) string)))
+    "sorted drain"
+    [ (1.0, "a"); (2.0, "b"); (3.0, "c") ]
+    (Pq.to_sorted_list q)
+
+let test_pq_empty () =
+  Alcotest.(check bool) "empty" true (Pq.is_empty Pq.empty);
+  Alcotest.(check bool) "pop none" true (Pq.pop Pq.empty = None);
+  Alcotest.(check bool) "peek none" true (Pq.peek (Pq.empty : int Pq.t) = None)
+
+let test_pq_persistence () =
+  let q1 = Pq.insert Pq.empty 1.0 "x" in
+  let q2 = Pq.insert q1 0.5 "y" in
+  (* q1 unaffected by the later insert *)
+  Alcotest.(check (option (pair (float 0.0) string))) "q1 min" (Some (1.0, "x"))
+    (Pq.peek q1);
+  Alcotest.(check (option (pair (float 0.0) string))) "q2 min" (Some (0.5, "y"))
+    (Pq.peek q2)
+
+let prop_pq_sorts =
+  Tutil.qtest ~count:150 "pqueue drains in sorted order"
+    QCheck.(list (float_range 0.0 1000.0))
+    (fun prios ->
+      let q = Pq.of_list (List.map (fun p -> (p, ())) prios) in
+      let drained = List.map fst (Pq.to_sorted_list q) in
+      drained = List.sort compare prios)
+
+(* --- traces --- *)
+
+let mk_net seed =
+  let rng = Rng.create seed in
+  let topo = Topology.Waxman.generate ~alpha:0.4 ~beta:0.3 rng ~n:30 in
+  (N.make_random_servers ~fraction:0.2 ~rng topo, rng)
+
+let test_trace_shape () =
+  let net, rng = mk_net 1 in
+  let trace = Dyn.poisson_trace rng net ~rate:2.0 ~mean_holding:10.0 ~count:200 in
+  Alcotest.(check int) "count" 200 (List.length trace);
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a.Dyn.at <= b.Dyn.at && ascending rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "times ascend" true (ascending trace);
+  List.iter
+    (fun a ->
+      if a.Dyn.holding <= 0.0 then Alcotest.fail "non-positive holding")
+    trace;
+  (* mean inter-arrival ≈ 1/rate *)
+  let last = List.nth trace 199 in
+  let mean_gap = last.Dyn.at /. 200.0 in
+  Alcotest.(check bool) "rate calibrated" true
+    (mean_gap > 0.3 && mean_gap < 0.8)
+
+let test_trace_validation () =
+  let net, rng = mk_net 2 in
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Dynamic.poisson_trace: non-positive rate or holding")
+    (fun () ->
+      ignore (Dyn.poisson_trace rng net ~rate:0.0 ~mean_holding:1.0 ~count:1))
+
+(* --- simulation --- *)
+
+let test_run_counts () =
+  let net, rng = mk_net 3 in
+  let trace = Dyn.poisson_trace rng net ~rate:1.0 ~mean_holding:5.0 ~count:150 in
+  let s = Dyn.run net Adm.Online_cp_no_threshold trace in
+  Alcotest.(check int) "arrivals" 150 s.Dyn.arrivals;
+  Alcotest.(check int) "partition" 150 (s.Dyn.admitted + s.Dyn.rejected);
+  Alcotest.(check bool) "completed ≤ admitted" true (s.Dyn.completed <= s.Dyn.admitted);
+  Alcotest.(check bool) "peak ≥ mean" true
+    (float_of_int s.Dyn.peak_concurrent >= s.Dyn.mean_concurrent -. 1e-9);
+  Alcotest.(check bool) "horizon positive" true (s.Dyn.horizon > 0.0)
+
+let test_all_sessions_end () =
+  (* every admitted session departs once its holding time passes, because
+     departures are scheduled within the trace horizon extended by the
+     queue draining everything *)
+  let net, rng = mk_net 4 in
+  let trace = Dyn.poisson_trace rng net ~rate:5.0 ~mean_holding:1.0 ~count:100 in
+  let s = Dyn.run net Adm.Sp trace in
+  Alcotest.(check int) "all admitted complete" s.Dyn.admitted s.Dyn.completed;
+  (* after all departures the network is back to full residuals *)
+  for e = 0 to N.m net - 1 do
+    Tutil.assert_close "residual restored" (N.link_capacity net e)
+      (N.link_residual net e)
+  done;
+  List.iter
+    (fun v ->
+      Tutil.assert_close "server restored" (N.server_capacity net v)
+        (N.server_residual net v))
+    (N.servers net)
+
+let test_light_load_admits_everything () =
+  let net, rng = mk_net 5 in
+  let trace = Dyn.poisson_trace rng net ~rate:0.01 ~mean_holding:1.0 ~count:50 in
+  let s = Dyn.run net Adm.Online_cp trace in
+  Alcotest.(check int) "no rejections at negligible load" 0 s.Dyn.rejected
+
+let prop_capacity_invariant_under_churn =
+  Tutil.qtest ~count:25 "residuals stay within bounds under churn"
+    QCheck.(pair (int_bound 10_000) (int_bound 3))
+    (fun (seed, algo_idx) ->
+      let algo =
+        [| Adm.Online_cp; Adm.Online_cp_no_threshold; Adm.Online_linear; Adm.Sp |].(algo_idx)
+      in
+      let net, rng = mk_net (seed + 10) in
+      let trace =
+        Dyn.poisson_trace rng net ~rate:4.0 ~mean_holding:8.0 ~count:120
+      in
+      ignore (Dyn.run net algo trace);
+      let ok = ref true in
+      for e = 0 to N.m net - 1 do
+        let r = N.link_residual net e in
+        if r < -1e-6 || r > N.link_capacity net e +. 1e-6 then ok := false
+      done;
+      !ok)
+
+let prop_departures_improve_acceptance =
+  Tutil.qtest ~count:15 "shorter sessions never hurt acceptance"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let net, rng = mk_net (seed + 500) in
+      let trace_long =
+        Dyn.poisson_trace rng net ~rate:3.0 ~mean_holding:50.0 ~count:120
+      in
+      (* same arrivals, shorter holding *)
+      let trace_short =
+        List.map (fun a -> { a with Dyn.holding = a.Dyn.holding /. 10.0 }) trace_long
+      in
+      let s_long = Dyn.run net Adm.Sp trace_long in
+      let s_short = Dyn.run net Adm.Sp trace_short in
+      (* admission is path-dependent, so allow a small slack rather than
+         demanding strict dominance *)
+      s_short.Dyn.admitted >= s_long.Dyn.admitted - 3)
+
+let () =
+  Alcotest.run "dynamic"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "basic" `Quick test_pq_basic;
+          Alcotest.test_case "empty" `Quick test_pq_empty;
+          Alcotest.test_case "persistence" `Quick test_pq_persistence;
+          prop_pq_sorts;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "shape" `Quick test_trace_shape;
+          Alcotest.test_case "validation" `Quick test_trace_validation;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "counters" `Quick test_run_counts;
+          Alcotest.test_case "sessions end, resources return" `Quick
+            test_all_sessions_end;
+          Alcotest.test_case "light load" `Quick test_light_load_admits_everything;
+        ] );
+      ( "property",
+        [ prop_capacity_invariant_under_churn; prop_departures_improve_acceptance ] );
+    ]

@@ -1,0 +1,129 @@
+module I = Nfv_multicast.Inline_tree
+module Pt = Nfv_multicast.Pseudo_tree
+module N = Sdn.Network
+module Rng = Topology.Rng
+
+(* Fig. 3's shape: a tree where the server sits on one branch and a
+   destination on another, forcing the processed copy to backtrack. *)
+let fig3_like () =
+  let rng = Rng.create 1 in
+  (* 0 (source) - 1 (branch point); 1-2 server side; 1-3 dest side *)
+  let g = Mcgraph.Graph.of_edges ~n:4 [ (0, 1); (1, 2); (1, 3) ] in
+  let net =
+    N.make
+      ~profile:(N.uniform_profile ~link_capacity:1000.0 ~server_capacity:8000.0)
+      ~rng ~servers:[ 2 ]
+      (Topology.Topo.make ~name:"fig3" g)
+  in
+  let req =
+    Sdn.Request.make ~id:0 ~source:0 ~destinations:[ 3 ] ~bandwidth:10.0
+      ~chain:[ Sdn.Vnf.Nat ]
+  in
+  (net, req)
+
+let test_derive_backtrack () =
+  let net, req = fig3_like () in
+  match I.derive net req ~tree:[ 0; 1; 2 ] ~servers:[ 2 ] with
+  | Error e -> Alcotest.failf "derive: %s" e
+  | Ok pt ->
+    (match Pt.validate net pt with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "invalid: %s" e);
+    (* edge 1 (branch→server) carries unprocessed down and processed back *)
+    Alcotest.(check (option int)) "backtrack doubles edge 1" (Some 2)
+      (List.assoc_opt 1 pt.Pt.edge_uses);
+    (* cost: edges 0,2 once + edge 1 twice = 4 traversals ×10 + chain 25 *)
+    Tutil.assert_close "cost" 65.0 (Pt.cost net pt);
+    (match Nfv_multicast.Flow_rules.verify net pt with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "data plane: %s" e)
+
+let test_derive_rejects_off_tree_server () =
+  let net, req = fig3_like () in
+  match I.derive net req ~tree:[ 0; 2 ] ~servers:[ 2 ] with
+  | Ok _ -> Alcotest.fail "destination 3 is off the tree"
+  | Error _ -> ()
+
+let test_solve_fig3 () =
+  let net, req = fig3_like () in
+  match I.solve net req with
+  | Error e -> Alcotest.failf "solve: %s" e
+  | Ok res ->
+    Alcotest.(check (list int)) "server" [ 2 ] res.I.servers;
+    Tutil.assert_close "same as manual derivation" 65.0 res.I.cost
+
+let test_solve_attaches_off_tree_server () =
+  (* server hangs off the source-destination path: 0-1-2 path, server 3
+     attached to 1 *)
+  let rng = Rng.create 1 in
+  let g = Mcgraph.Graph.of_edges ~n:4 [ (0, 1); (1, 2); (1, 3) ] in
+  let net =
+    N.make
+      ~profile:(N.uniform_profile ~link_capacity:1000.0 ~server_capacity:8000.0)
+      ~rng ~servers:[ 3 ]
+      (Topology.Topo.make ~name:"offtree" g)
+  in
+  let req =
+    Sdn.Request.make ~id:0 ~source:0 ~destinations:[ 2 ] ~bandwidth:10.0
+      ~chain:[ Sdn.Vnf.Nat ]
+  in
+  match I.solve net req with
+  | Error e -> Alcotest.failf "solve: %s" e
+  | Ok res ->
+    Alcotest.(check (list int)) "attached server" [ 3 ] res.I.servers;
+    (match Pt.validate net res.I.tree with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "invalid: %s" e);
+    (* detour into the stub and back: edge (1,3) twice *)
+    Alcotest.(check (option int)) "stub doubled" (Some 2)
+      (List.assoc_opt 2 res.I.tree.Pt.edge_uses)
+
+let prop_inline_valid =
+  Tutil.qtest ~count:120 "inline solutions validate on both planes"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let net, rng = Tutil.random_network seed ~lo:6 ~hi:25 in
+      let req = Tutil.random_request rng net ~id:0 in
+      match I.solve ~k:2 net req with
+      | Error _ -> true
+      | Ok res -> (
+        (match Pt.validate net res.I.tree with Ok () -> true | Error _ -> false)
+        &&
+        match Nfv_multicast.Flow_rules.verify net res.I.tree with
+        | Ok () -> true
+        | Error _ -> false))
+
+let prop_appro_not_worse_than_inline =
+  Tutil.qtest ~count:60 "appro ≤ inline on average instance"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      (* not a per-instance theorem (different heuristics), so compare
+         totals over a small batch to keep the check meaningful *)
+      let net, rng = Tutil.random_network seed ~lo:10 ~hi:25 in
+      let total_a = ref 0.0 and total_i = ref 0.0 and n = ref 0 in
+      for id = 0 to 4 do
+        let req = Tutil.random_request rng net ~id in
+        match (Nfv_multicast.Appro_multi.solve ~k:2 net req, I.solve ~k:2 net req)
+        with
+        | Ok a, Ok i ->
+          incr n;
+          total_a := !total_a +. a.Nfv_multicast.Appro_multi.cost;
+          total_i := !total_i +. i.I.cost
+        | _ -> ()
+      done;
+      !n = 0 || !total_a <= !total_i *. 1.15)
+
+let () =
+  Alcotest.run "inline"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "derive with backtrack" `Quick test_derive_backtrack;
+          Alcotest.test_case "derive rejects off-tree destination" `Quick
+            test_derive_rejects_off_tree_server;
+          Alcotest.test_case "solve fig3" `Quick test_solve_fig3;
+          Alcotest.test_case "solve attaches off-tree server" `Quick
+            test_solve_attaches_off_tree_server;
+        ] );
+      ("property", [ prop_inline_valid; prop_appro_not_worse_than_inline ]);
+    ]

@@ -1,0 +1,255 @@
+module Cp = Nfv_multicast.Online_cp
+module Sp = Nfv_multicast.Online_sp
+module Adm = Nfv_multicast.Admission
+module Pt = Nfv_multicast.Pseudo_tree
+module N = Sdn.Network
+module Rng = Topology.Rng
+
+let mk_net seed =
+  let rng = Rng.create seed in
+  let topo = Topology.Waxman.generate ~alpha:0.4 ~beta:0.3 rng ~n:30 in
+  let net = N.make_random_servers ~fraction:0.2 ~rng topo in
+  (net, rng)
+
+(* --- Online_CP unit behaviour --- *)
+
+let test_default_params () =
+  let net, _ = mk_net 1 in
+  let p = Cp.default_params net in
+  Alcotest.check Tutil.check_float "alpha = 2|V|" 60.0 p.Cp.alpha;
+  Alcotest.check Tutil.check_float "sigma = |V|-1" 29.0 p.Cp.sigma_v
+
+let test_admit_on_idle_network () =
+  let net, rng = mk_net 2 in
+  let req = Workload.Gen.request rng net ~id:0 in
+  match Cp.admit net req with
+  | Cp.Rejected r -> Alcotest.failf "idle network rejects: %s" (Cp.rejection_to_string r)
+  | Cp.Admitted a -> (
+    Alcotest.(check bool) "server placed" true (N.is_server net a.Cp.server);
+    match Pt.validate net a.Cp.tree with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "invalid tree: %s" e)
+
+let test_rejects_when_servers_full () =
+  let net, rng = mk_net 3 in
+  (* drain all servers *)
+  List.iter
+    (fun v ->
+      match N.allocate net { N.links = []; nodes = [ (v, N.server_residual net v) ] } with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "drain: %s" e)
+    (N.servers net);
+  let req = Workload.Gen.request rng net ~id:0 in
+  match Cp.admit net req with
+  | Cp.Rejected Cp.No_feasible_server -> ()
+  | Cp.Rejected r -> Alcotest.failf "wrong reason: %s" (Cp.rejection_to_string r)
+  | Cp.Admitted _ -> Alcotest.fail "should reject"
+
+let test_threshold_rejection () =
+  let net, rng = mk_net 4 in
+  let req = Workload.Gen.request rng net ~id:0 in
+  (* absurdly low thresholds force Case 3 *)
+  let p = Cp.default_params net in
+  let p = { p with Cp.sigma_v = -1.0; sigma_e = -1.0 } in
+  match Cp.admit ~params:p net req with
+  | Cp.Rejected Cp.Over_threshold -> ()
+  | Cp.Rejected r -> Alcotest.failf "wrong reason: %s" (Cp.rejection_to_string r)
+  | Cp.Admitted _ -> Alcotest.fail "should reject"
+
+let test_linear_mode_ignores_thresholds () =
+  let net, rng = mk_net 5 in
+  let req = Workload.Gen.request rng net ~id:0 in
+  let p = Cp.default_params net in
+  let p = { p with Cp.sigma_v = -1.0; sigma_e = -1.0 } in
+  match Cp.admit ~mode:`Linear ~params:p net req with
+  | Cp.Admitted _ -> ()
+  | Cp.Rejected r -> Alcotest.failf "linear mode: %s" (Cp.rejection_to_string r)
+
+let test_admission_consumes_resources () =
+  let net, rng = mk_net 6 in
+  let req = Workload.Gen.request rng net ~id:0 in
+  let before = List.map (fun v -> N.server_residual net v) (N.servers net) in
+  match Cp.admit net req with
+  | Cp.Rejected _ -> Alcotest.fail "should admit on idle network"
+  | Cp.Admitted a ->
+    let after = List.map (fun v -> N.server_residual net v) (N.servers net) in
+    let drained =
+      List.exists2 (fun b a -> b -. a > 1e-9) before after
+    in
+    Alcotest.(check bool) "some server drained" true drained;
+    let demand = Sdn.Request.demand_mhz req in
+    Tutil.assert_close "drained by demand"
+      (N.server_capacity net a.Cp.server -. demand)
+      (N.server_residual net a.Cp.server)
+
+(* --- SP --- *)
+
+let test_sp_admits_idle () =
+  let net, rng = mk_net 7 in
+  let req = Workload.Gen.request rng net ~id:0 in
+  match Sp.admit net req with
+  | Sp.Rejected msg -> Alcotest.failf "idle network: %s" msg
+  | Sp.Admitted a -> (
+    Alcotest.(check bool) "hops positive" true (a.Sp.hops >= 1);
+    match Pt.validate net a.Sp.tree with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "invalid tree: %s" e)
+
+let test_sp_rejects_when_starved () =
+  let net, rng = mk_net 8 in
+  (* drain every link below any possible demand *)
+  for e = 0 to N.m net - 1 do
+    match
+      N.allocate net { N.links = [ (e, N.link_residual net e -. 1.0) ]; nodes = [] }
+    with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "drain: %s" msg
+  done;
+  let req = Workload.Gen.request rng net ~id:0 in
+  match Sp.admit net req with
+  | Sp.Rejected _ -> ()
+  | Sp.Admitted _ -> Alcotest.fail "should reject"
+
+(* --- admission driver --- *)
+
+let test_run_stats_consistent () =
+  let net, rng = mk_net 9 in
+  let reqs = Workload.Gen.sequence rng net ~count:40 in
+  let stats = Adm.run net Adm.Online_cp reqs in
+  Alcotest.(check int) "total" 40 stats.Adm.total;
+  Alcotest.(check int) "partition" 40 (stats.Adm.admitted + stats.Adm.rejected);
+  Alcotest.(check int) "records" 40 (List.length stats.Adm.records);
+  Alcotest.(check bool) "ratio in range" true
+    (stats.Adm.acceptance_ratio >= 0.0 && stats.Adm.acceptance_ratio <= 1.0);
+  Alcotest.(check int) "admitted_after total" stats.Adm.admitted
+    (Adm.admitted_after stats 40)
+
+let test_run_resets () =
+  let net, rng = mk_net 10 in
+  let reqs = Workload.Gen.sequence rng net ~count:30 in
+  let s1 = Adm.run net Adm.Sp reqs in
+  let s2 = Adm.run net Adm.Sp reqs in
+  Alcotest.(check int) "deterministic replay" s1.Adm.admitted s2.Adm.admitted
+
+let test_prefix_property () =
+  (* the first n decisions of a run equal a run on the prefix *)
+  let net, rng = mk_net 11 in
+  let reqs = Workload.Gen.sequence rng net ~count:30 in
+  let full = Adm.run net Adm.Online_cp reqs in
+  let prefix =
+    Adm.run net Adm.Online_cp
+      (List.filteri (fun i _ -> i < 15) reqs)
+  in
+  Alcotest.(check int) "prefix equivalence" prefix.Adm.admitted
+    (Adm.admitted_after full 15)
+
+let test_algorithm_names () =
+  Alcotest.(check string) "cp" "Online_CP" (Adm.algorithm_to_string Adm.Online_cp);
+  Alcotest.(check string) "nosigma" "Online_CP_noSigma"
+    (Adm.algorithm_to_string Adm.Online_cp_no_threshold);
+  Alcotest.(check string) "linear" "Online_Linear"
+    (Adm.algorithm_to_string Adm.Online_linear);
+  Alcotest.(check string) "sp" "SP" (Adm.algorithm_to_string Adm.Sp)
+
+(* --- randomized properties --- *)
+
+let prop_capacity_invariant =
+  Tutil.qtest ~count:40 "no algorithm ever exceeds capacities"
+    QCheck.(pair (int_bound 10_000) (int_bound 3))
+    (fun (seed, algo_idx) ->
+      let algo =
+        [| Adm.Online_cp; Adm.Online_cp_no_threshold; Adm.Online_linear; Adm.Sp |].(algo_idx)
+      in
+      let net, rng = mk_net (seed + 100) in
+      let reqs = Workload.Gen.sequence rng net ~count:60 in
+      ignore (Adm.run net algo reqs);
+      let ok = ref true in
+      for e = 0 to N.m net - 1 do
+        if N.link_residual net e < -1e-6 then ok := false;
+        if N.link_residual net e > N.link_capacity net e +. 1e-6 then ok := false
+      done;
+      List.iter
+        (fun v ->
+          if N.server_residual net v < -1e-6 then ok := false)
+        (N.servers net);
+      !ok)
+
+let prop_admitted_trees_valid =
+  Tutil.qtest ~count:30 "every admitted CP tree validates"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let net, rng = mk_net (seed + 500) in
+      let reqs = Workload.Gen.sequence rng net ~count:40 in
+      N.reset net;
+      List.for_all
+        (fun r ->
+          match Cp.admit net r with
+          | Cp.Admitted a -> (
+            match Pt.validate net a.Cp.tree with Ok () -> true | Error _ -> false)
+          | Cp.Rejected _ -> true)
+        reqs)
+
+let prop_sp_trees_valid =
+  Tutil.qtest ~count:30 "every admitted SP tree validates"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let net, rng = mk_net (seed + 900) in
+      let reqs = Workload.Gen.sequence rng net ~count:40 in
+      N.reset net;
+      List.for_all
+        (fun r ->
+          match Sp.admit net r with
+          | Sp.Admitted a -> (
+            match Pt.validate net a.Sp.tree with Ok () -> true | Error _ -> false)
+          | Sp.Rejected _ -> true)
+        reqs)
+
+let prop_cp_score_nonnegative =
+  Tutil.qtest ~count:30 "admitted scores are non-negative"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let net, rng = mk_net (seed + 1300) in
+      let reqs = Workload.Gen.sequence rng net ~count:30 in
+      N.reset net;
+      List.for_all
+        (fun r ->
+          match Cp.admit net r with
+          | Cp.Admitted a -> a.Cp.score >= 0.0
+          | Cp.Rejected _ -> true)
+        reqs)
+
+let () =
+  Alcotest.run "online"
+    [
+      ( "online_cp",
+        [
+          Alcotest.test_case "default params" `Quick test_default_params;
+          Alcotest.test_case "admits on idle network" `Quick test_admit_on_idle_network;
+          Alcotest.test_case "rejects when servers full" `Quick
+            test_rejects_when_servers_full;
+          Alcotest.test_case "threshold rejection" `Quick test_threshold_rejection;
+          Alcotest.test_case "linear mode skips thresholds" `Quick
+            test_linear_mode_ignores_thresholds;
+          Alcotest.test_case "admission consumes resources" `Quick
+            test_admission_consumes_resources;
+        ] );
+      ( "sp",
+        [
+          Alcotest.test_case "admits idle" `Quick test_sp_admits_idle;
+          Alcotest.test_case "rejects starved" `Quick test_sp_rejects_when_starved;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "stats consistent" `Quick test_run_stats_consistent;
+          Alcotest.test_case "reset + determinism" `Quick test_run_resets;
+          Alcotest.test_case "prefix property" `Quick test_prefix_property;
+          Alcotest.test_case "names" `Quick test_algorithm_names;
+        ] );
+      ( "property",
+        [
+          prop_capacity_invariant;
+          prop_admitted_trees_valid;
+          prop_sp_trees_valid;
+          prop_cp_score_nonnegative;
+        ] );
+    ]

@@ -1,0 +1,152 @@
+module Rng = Topology.Rng
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.int64 a <> Rng.int64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "out of range: %d" x
+  done
+
+let test_int_nonpositive () =
+  let rng = Rng.create 7 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: non-positive bound")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_float_bounds () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng 3.5 in
+    if x < 0.0 || x >= 3.5 then Alcotest.failf "out of range: %f" x
+  done
+
+let test_float_range () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 1_000 do
+    let x = Rng.float_range rng 2.0 5.0 in
+    if x < 2.0 || x >= 5.0 then Alcotest.failf "out of range: %f" x
+  done;
+  Alcotest.check Tutil.check_float "degenerate" 4.0 (Rng.float_range rng 4.0 4.0)
+
+let test_int_range () =
+  let rng = Rng.create 11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1_000 do
+    let x = Rng.int_range rng 3 7 in
+    if x < 3 || x > 7 then Alcotest.failf "out of range: %d" x;
+    seen.(x - 3) <- true
+  done;
+  Alcotest.(check bool) "covers range" true (Array.for_all Fun.id seen)
+
+let test_split_independence () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  (* child and parent produce different streams *)
+  let same = ref 0 in
+  for _ = 1 to 20 do
+    if Rng.int64 parent = Rng.int64 child then incr same
+  done;
+  Alcotest.(check bool) "streams diverge" true (!same < 3)
+
+let test_copy () =
+  let a = Rng.create 13 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copies agree" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_choose () =
+  let rng = Rng.create 17 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    let x = Rng.choose rng arr in
+    Alcotest.(check bool) "member" true (Array.mem x arr)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Rng.choose rng [||]))
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 19 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 23 in
+  for _ = 1 to 200 do
+    let s = Rng.sample_without_replacement rng 5 10 in
+    Alcotest.(check int) "size" 5 (List.length s);
+    Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s));
+    List.iter (fun x -> if x < 0 || x >= 10 then Alcotest.fail "range") s
+  done;
+  Alcotest.(check (list int)) "full sample" [ 0; 1; 2 ]
+    (List.sort compare (Rng.sample_without_replacement rng 3 3));
+  Alcotest.check_raises "too many" (Invalid_argument "Rng.sample_without_replacement")
+    (fun () -> ignore (Rng.sample_without_replacement rng 4 3))
+
+(* crude uniformity check: mean of many draws close to midpoint *)
+let test_uniformity () =
+  let rng = Rng.create 29 in
+  let sum = ref 0.0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+(* every sample index should appear with roughly equal frequency *)
+let test_sample_unbiased () =
+  let rng = Rng.create 31 in
+  let counts = Array.make 6 0 in
+  let rounds = 12_000 in
+  for _ = 1 to rounds do
+    List.iter (fun i -> counts.(i) <- counts.(i) + 1)
+      (Rng.sample_without_replacement rng 3 6)
+  done;
+  (* each index expected rounds/2 times; allow 10% slack *)
+  Array.iter
+    (fun c ->
+      if Float.abs (float_of_int c -. (float_of_int rounds /. 2.0))
+         > 0.1 *. float_of_int rounds
+      then Alcotest.failf "biased sample: %d" c)
+    counts
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int non-positive" `Quick test_int_nonpositive;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "int range" `Quick test_int_range;
+          Alcotest.test_case "split" `Quick test_split_independence;
+          Alcotest.test_case "copy" `Quick test_copy;
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
+          Alcotest.test_case "sample without replacement" `Quick
+            test_sample_without_replacement;
+          Alcotest.test_case "uniformity" `Slow test_uniformity;
+          Alcotest.test_case "sample unbiased" `Slow test_sample_unbiased;
+        ] );
+    ]

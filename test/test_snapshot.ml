@@ -1,0 +1,168 @@
+module S = Sdn.Snapshot
+module N = Sdn.Network
+module Rng = Topology.Rng
+
+let networks_equal a b =
+  let ga = N.graph a and gb = N.graph b in
+  Mcgraph.Graph.n ga = Mcgraph.Graph.n gb
+  && Mcgraph.Graph.edge_list ga = Mcgraph.Graph.edge_list gb
+  && N.servers a = N.servers b
+  && List.for_all
+       (fun v ->
+         N.server_capacity a v = N.server_capacity b v
+         && N.server_unit_cost a v = N.server_unit_cost b v
+         && N.server_residual a v = N.server_residual b v)
+       (N.servers a)
+  && List.init (N.m a) Fun.id
+     |> List.for_all (fun e ->
+            N.link_capacity a e = N.link_capacity b e
+            && N.link_unit_cost a e = N.link_unit_cost b e
+            && N.link_residual a e = N.link_residual b e)
+
+let test_network_roundtrip () =
+  let rng = Rng.create 3 in
+  let topo = Topology.Waxman.generate rng ~n:25 in
+  let net = N.make_random_servers ~rng topo in
+  match S.network_of_string (S.network_to_string net) with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok net' -> Alcotest.(check bool) "round trip" true (networks_equal net net')
+
+let test_residuals_roundtrip () =
+  let rng = Rng.create 4 in
+  let topo = Topology.Waxman.generate rng ~n:15 in
+  let net = N.make_random_servers ~rng topo in
+  let v = List.hd (N.servers net) in
+  (match N.allocate net { N.links = [ (0, 123.5) ]; nodes = [ (v, 55.0) ] } with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "alloc: %s" e);
+  match S.network_of_string (S.network_to_string net) with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok net' ->
+    Tutil.assert_close "link residual survives" (N.link_residual net 0)
+      (N.link_residual net' 0);
+    Tutil.assert_close "server residual survives" (N.server_residual net v)
+      (N.server_residual net' v)
+
+let test_geant_roundtrip_names () =
+  let rng = Rng.create 5 in
+  let net = N.make ~rng ~servers:Topology.Geant.default_servers (Topology.Geant.topology ()) in
+  match S.network_of_string (S.network_to_string net) with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok net' ->
+    Alcotest.(check string) "city names survive" "Amsterdam"
+      (Topology.Topo.node_name (N.topology net') 0);
+    Alcotest.(check bool) "equal" true (networks_equal net net')
+
+let test_requests_roundtrip () =
+  let rng = Rng.create 6 in
+  let topo = Topology.Waxman.generate rng ~n:30 in
+  let net = N.make_random_servers ~rng topo in
+  let reqs = Workload.Gen.sequence rng net ~count:20 in
+  match S.requests_of_string (S.requests_to_string reqs) with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok reqs' ->
+    Alcotest.(check int) "count" 20 (List.length reqs');
+    List.iter2
+      (fun (a : Sdn.Request.t) (b : Sdn.Request.t) ->
+        Alcotest.(check int) "id" a.Sdn.Request.id b.Sdn.Request.id;
+        Alcotest.(check int) "source" a.Sdn.Request.source b.Sdn.Request.source;
+        Alcotest.(check (list int)) "dests" a.Sdn.Request.destinations
+          b.Sdn.Request.destinations;
+        Alcotest.check Tutil.check_float "bandwidth" a.Sdn.Request.bandwidth
+          b.Sdn.Request.bandwidth;
+        Alcotest.(check bool) "chain" true
+          (a.Sdn.Request.chain = b.Sdn.Request.chain))
+      reqs reqs'
+
+let test_scenario_roundtrip () =
+  let rng = Rng.create 7 in
+  let topo = Topology.Waxman.generate rng ~n:20 in
+  let net = N.make_random_servers ~rng topo in
+  let reqs = Workload.Gen.sequence rng net ~count:5 in
+  match S.scenario_of_string (S.scenario_to_string net reqs) with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok (net', reqs') ->
+    Alcotest.(check bool) "network" true (networks_equal net net');
+    Alcotest.(check int) "requests" 5 (List.length reqs')
+
+let test_scenario_solves_identically () =
+  (* the real point of snapshots: the reloaded scenario reproduces the
+     original run bit-for-bit *)
+  let rng = Rng.create 8 in
+  let topo = Topology.Waxman.generate rng ~n:25 in
+  let net = N.make_random_servers ~rng topo in
+  let reqs = Workload.Gen.sequence rng net ~count:10 in
+  let text = S.scenario_to_string net reqs in
+  match S.scenario_of_string text with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok (net', reqs') ->
+    List.iter2
+      (fun r r' ->
+        match
+          (Nfv_multicast.Appro_multi.solve ~k:2 net r,
+           Nfv_multicast.Appro_multi.solve ~k:2 net' r')
+        with
+        | Ok a, Ok b ->
+          Tutil.assert_close "identical cost" a.Nfv_multicast.Appro_multi.cost
+            b.Nfv_multicast.Appro_multi.cost
+        | Error _, Error _ -> ()
+        | _ -> Alcotest.fail "divergent feasibility")
+      reqs reqs'
+
+let test_parse_errors () =
+  (match S.network_of_string "gibberish" with
+  | Ok _ -> Alcotest.fail "should fail"
+  | Error _ -> ());
+  (match S.network_of_string "nfvm-snapshot 2\n" with
+  | Ok _ -> Alcotest.fail "should reject version"
+  | Error _ -> ());
+  (match S.network_of_string "nfvm-snapshot 1\n" with
+  | Ok _ -> Alcotest.fail "should need topology"
+  | Error _ -> ());
+  match S.network_of_string "nfvm-snapshot 1\ntopology \"x\" 3 1\nedge 0 99\n" with
+  | Ok _ -> Alcotest.fail "should reject bad edge"
+  | Error _ -> ()
+
+let test_file_io () =
+  let rng = Rng.create 9 in
+  let topo = Topology.Waxman.generate rng ~n:10 in
+  let net = N.make_random_servers ~rng topo in
+  let path = Filename.temp_file "nfvm" ".snap" in
+  S.save path (S.network_to_string net);
+  (match S.load path with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok text -> (
+    match S.network_of_string text with
+    | Ok net' -> Alcotest.(check bool) "file round trip" true (networks_equal net net')
+    | Error e -> Alcotest.failf "parse: %s" e));
+  Sys.remove path;
+  match S.load path with
+  | Ok _ -> Alcotest.fail "missing file should fail"
+  | Error _ -> ()
+
+let prop_roundtrip =
+  Tutil.qtest ~count:60 "network snapshots round-trip"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let net, _ = Tutil.random_network seed ~lo:4 ~hi:30 in
+      match S.network_of_string (S.network_to_string net) with
+      | Ok net' -> networks_equal net net'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "network round-trip" `Quick test_network_roundtrip;
+          Alcotest.test_case "residuals round-trip" `Quick test_residuals_roundtrip;
+          Alcotest.test_case "GEANT names round-trip" `Quick test_geant_roundtrip_names;
+          Alcotest.test_case "requests round-trip" `Quick test_requests_roundtrip;
+          Alcotest.test_case "scenario round-trip" `Quick test_scenario_roundtrip;
+          Alcotest.test_case "reloaded scenario solves identically" `Quick
+            test_scenario_solves_identically;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "file io" `Quick test_file_io;
+        ] );
+      ("property", [ prop_roundtrip ]);
+    ]

@@ -1,0 +1,145 @@
+module G = Mcgraph.Graph
+module T = Mcgraph.Tree
+
+(* fixed tree:       0
+                    / \
+                   1   2
+                  / \    \
+                 3   4    5
+                /
+               6            *)
+let fixture () =
+  let g = G.of_edges ~n:7 [ (0, 1); (0, 2); (1, 3); (1, 4); (2, 5); (3, 6) ] in
+  (g, T.of_edges g ~root:0 [ 0; 1; 2; 3; 4; 5 ])
+
+let test_structure () =
+  let _, t = fixture () in
+  Alcotest.(check int) "root" 0 (T.root t);
+  Alcotest.(check int) "size" 7 (T.size t);
+  Alcotest.(check int) "depth 6" 3 (T.depth t 6);
+  Alcotest.(check int) "parent 6" 3 (T.parent t 6);
+  Alcotest.(check int) "parent root" (-1) (T.parent t 0);
+  Alcotest.(check (list int)) "children of 1" [ 3; 4 ] (List.sort compare (T.children t 1));
+  Alcotest.(check (list int)) "leaves" [ 4; 5; 6 ] (List.sort compare (T.leaves t))
+
+let test_lca () =
+  let _, t = fixture () in
+  Alcotest.(check int) "siblings" 1 (T.lca t 3 4);
+  Alcotest.(check int) "cross" 0 (T.lca t 6 5);
+  Alcotest.(check int) "ancestor" 1 (T.lca t 1 6);
+  Alcotest.(check int) "self" 4 (T.lca t 4 4);
+  Alcotest.(check int) "many" 1 (T.lca_many t [ 3; 4; 6 ]);
+  Alcotest.(check int) "many cross" 0 (T.lca_many t [ 4; 5 ])
+
+let test_paths () =
+  let _, t = fixture () in
+  Alcotest.(check (list int)) "path up" [ 5; 2; 0 ] (T.path_up t 6 ~ancestor:0);
+  Alcotest.(check (list int)) "path up to mid" [ 5; 2 ] (T.path_up t 6 ~ancestor:1);
+  Alcotest.(check (list int)) "between siblings" [ 2; 3 ] (T.path_between t 3 4);
+  Alcotest.(check (list int)) "between self" [] (T.path_between t 4 4)
+
+let test_subtree () =
+  let _, t = fixture () in
+  Alcotest.(check bool) "6 under 1" true (T.in_subtree t ~root_of_subtree:1 6);
+  Alcotest.(check bool) "5 not under 1" false (T.in_subtree t ~root_of_subtree:1 5);
+  Alcotest.(check bool) "ancestor" true (T.is_ancestor t 0 ~descendant:6);
+  Alcotest.(check bool) "not ancestor" false (T.is_ancestor t 2 ~descendant:6)
+
+let test_not_in_tree () =
+  let g = G.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  let t = T.of_edges g ~root:0 [ 0 ] in
+  Alcotest.(check bool) "mem in" true (T.mem t 1);
+  Alcotest.(check bool) "mem out" false (T.mem t 2);
+  Alcotest.check_raises "depth outside"
+    (Invalid_argument "Tree.depth: node not in tree") (fun () ->
+      ignore (T.depth t 2))
+
+let test_cycle_rejected () =
+  let g = G.of_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  Alcotest.check_raises "cycle" (Invalid_argument "Tree.of_edges: cycle in edge set")
+    (fun () -> ignore (T.of_edges g ~root:0 [ 0; 1; 2 ]))
+
+let test_disconnected_rejected () =
+  let g = G.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Tree.of_edges: edge set not connected to root") (fun () ->
+      ignore (T.of_edges g ~root:0 [ 0; 1 ]))
+
+let test_repeated_edge_rejected () =
+  let g = G.of_edges ~n:2 [ (0, 1) ] in
+  Alcotest.check_raises "repeat" (Invalid_argument "Tree.of_edges: repeated edge")
+    (fun () -> ignore (T.of_edges g ~root:0 [ 0; 0 ]))
+
+(* ---- properties against a naive LCA ---- *)
+
+let random_tree seed =
+  let rng = Topology.Rng.create seed in
+  let n = 2 + Topology.Rng.int rng 40 in
+  let g = G.create n in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := G.add_edge g v (Topology.Rng.int rng v) :: !edges
+  done;
+  (g, T.of_edges g ~root:0 !edges, rng, n)
+
+let naive_lca t a b =
+  let rec ancestors v acc =
+    if v = T.root t then v :: acc else ancestors (T.parent t v) (v :: acc)
+  in
+  let pa = ancestors a [] and pb = ancestors b [] in
+  let rec common last = function
+    | x :: xs, y :: ys when x = y -> common x (xs, ys)
+    | _ -> last
+  in
+  common (T.root t) (pa, pb)
+
+let prop_lca_naive =
+  Tutil.qtest ~count:200 "lca = naive ancestor intersection"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let _, t, rng, n = random_tree seed in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let a = Topology.Rng.int rng n and b = Topology.Rng.int rng n in
+        if T.lca t a b <> naive_lca t a b then ok := false
+      done;
+      !ok)
+
+let prop_path_between_depth =
+  Tutil.qtest ~count:200 "path_between length = depth sum - 2·lca depth"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let _, t, rng, n = random_tree seed in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let a = Topology.Rng.int rng n and b = Topology.Rng.int rng n in
+        let u = T.lca t a b in
+        let expect = T.depth t a + T.depth t b - (2 * T.depth t u) in
+        if List.length (T.path_between t a b) <> expect then ok := false
+      done;
+      !ok)
+
+let prop_bfs_orders_nodes =
+  Tutil.qtest ~count:100 "nodes are listed in non-decreasing depth"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let _, t, _, _ = random_tree seed in
+      let depths = List.map (T.depth t) (T.nodes t) in
+      List.sort compare depths = depths)
+
+let () =
+  Alcotest.run "tree"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "lca" `Quick test_lca;
+          Alcotest.test_case "paths" `Quick test_paths;
+          Alcotest.test_case "subtree" `Quick test_subtree;
+          Alcotest.test_case "non-tree nodes" `Quick test_not_in_tree;
+          Alcotest.test_case "cycle rejected" `Quick test_cycle_rejected;
+          Alcotest.test_case "disconnected rejected" `Quick test_disconnected_rejected;
+          Alcotest.test_case "repeated edge rejected" `Quick test_repeated_edge_rejected;
+        ] );
+      ("property", [ prop_lca_naive; prop_path_between_depth; prop_bfs_orders_nodes ]);
+    ]

@@ -1,0 +1,114 @@
+module Gen = Workload.Gen
+module N = Sdn.Network
+module Rng = Topology.Rng
+
+let mk_net seed n =
+  let rng = Rng.create seed in
+  let topo = Topology.Waxman.generate rng ~n in
+  (N.make_random_servers ~rng topo, rng)
+
+let test_request_fields () =
+  let net, rng = mk_net 1 50 in
+  for id = 0 to 200 do
+    let r = Gen.request rng net ~id in
+    Alcotest.(check int) "id" id r.Sdn.Request.id;
+    if r.Sdn.Request.source < 0 || r.Sdn.Request.source >= 50 then
+      Alcotest.fail "source range";
+    List.iter
+      (fun d ->
+        if d < 0 || d >= 50 then Alcotest.fail "dest range";
+        if d = r.Sdn.Request.source then Alcotest.fail "source among dests")
+      r.Sdn.Request.destinations;
+    if r.Sdn.Request.bandwidth < 50.0 || r.Sdn.Request.bandwidth >= 200.0 then
+      Alcotest.fail "bandwidth range";
+    let len = List.length r.Sdn.Request.chain in
+    if len < 1 || len > 3 then Alcotest.fail "chain length"
+  done
+
+let test_dmax_bound () =
+  let net, rng = mk_net 2 100 in
+  (* ratio fixed at 0.1 → at most 10 destinations *)
+  let spec = { Gen.default_spec with dmax_ratio = Some 0.1 } in
+  for id = 0 to 300 do
+    let r = Gen.request ~spec rng net ~id in
+    let k = List.length r.Sdn.Request.destinations in
+    if k < 1 || k > 10 then Alcotest.failf "dest count %d outside [1,10]" k
+  done
+
+let test_default_ratio_bound () =
+  let net, rng = mk_net 3 100 in
+  for id = 0 to 300 do
+    let r = Gen.request rng net ~id in
+    let k = List.length r.Sdn.Request.destinations in
+    (* ratio ≤ 0.2 → at most 20 destinations on 100 nodes *)
+    if k > 20 then Alcotest.failf "dest count %d exceeds Dmax" k
+  done
+
+let test_fixed_chain () =
+  let net, rng = mk_net 4 30 in
+  let spec = { Gen.default_spec with chain = Some [ Sdn.Vnf.Ids ] } in
+  let r = Gen.request ~spec rng net ~id:0 in
+  Alcotest.(check bool) "chain honoured" true (r.Sdn.Request.chain = [ Sdn.Vnf.Ids ])
+
+let test_custom_bandwidth () =
+  let net, rng = mk_net 5 30 in
+  let spec = { Gen.default_spec with bandwidth = (10.0, 11.0) } in
+  for id = 0 to 50 do
+    let r = Gen.request ~spec rng net ~id in
+    if r.Sdn.Request.bandwidth < 10.0 || r.Sdn.Request.bandwidth >= 11.0 then
+      Alcotest.fail "custom bandwidth"
+  done
+
+let test_sequence_ids () =
+  let net, rng = mk_net 6 30 in
+  let reqs = Gen.sequence rng net ~count:25 in
+  Alcotest.(check (list int)) "sequential ids" (List.init 25 Fun.id)
+    (List.map (fun r -> r.Sdn.Request.id) reqs)
+
+let test_determinism () =
+  let net1, rng1 = mk_net 7 40 in
+  let net2, rng2 = mk_net 7 40 in
+  ignore net2;
+  let r1 = Gen.sequence rng1 net1 ~count:10 in
+  let r2 = Gen.sequence rng2 net1 ~count:10 in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check int) "same source" a.Sdn.Request.source b.Sdn.Request.source;
+      Alcotest.(check (list int)) "same dests" a.Sdn.Request.destinations
+        b.Sdn.Request.destinations)
+    r1 r2
+
+let test_tiny_network () =
+  let rng = Rng.create 8 in
+  let topo = Topology.Waxman.generate rng ~n:2 in
+  let net = N.make ~rng ~servers:[ 0 ] topo in
+  let r = Gen.request rng net ~id:0 in
+  Alcotest.(check int) "one destination possible" 1
+    (List.length r.Sdn.Request.destinations)
+
+(* statistical sanity: sources cover the node range *)
+let test_source_coverage () =
+  let net, rng = mk_net 9 10 in
+  let seen = Array.make 10 false in
+  for id = 0 to 500 do
+    let r = Gen.request rng net ~id in
+    seen.(r.Sdn.Request.source) <- true
+  done;
+  Alcotest.(check bool) "all nodes used as source" true (Array.for_all Fun.id seen)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "field ranges" `Quick test_request_fields;
+          Alcotest.test_case "dmax bound" `Quick test_dmax_bound;
+          Alcotest.test_case "default ratio bound" `Quick test_default_ratio_bound;
+          Alcotest.test_case "fixed chain" `Quick test_fixed_chain;
+          Alcotest.test_case "custom bandwidth" `Quick test_custom_bandwidth;
+          Alcotest.test_case "sequence ids" `Quick test_sequence_ids;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "tiny network" `Quick test_tiny_network;
+          Alcotest.test_case "source coverage" `Quick test_source_coverage;
+        ] );
+    ]
