@@ -52,6 +52,98 @@ let run_figure name =
       (fun f -> ignore (Experiments.Exp_common.write_csv ~dir f))
       figs
 
+(* Run a Bechamel test group and return (name, ns-per-run) rows sorted by
+   name, so the same data can be printed and written as CSV. *)
+let run_micro_suite tests =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> Some est
+        | _ -> None
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.sort compare !rows
+
+let print_micro_rows rows =
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "%-36s %12.1f ns\n" name est
+      | None -> Printf.printf "%-36s (no estimate)\n" name)
+    rows
+
+(* The paths suite: eager all-pairs vs the lazy engine under a
+   per-request query load vs a single CSR Dijkstra, on the paper's
+   topologies. The lazy-engine case reproduces what one Appro_Multi
+   request asks of Aux_graph: distances from every candidate server and
+   every terminal, nothing else. *)
+let micro_paths_benchmarks () =
+  let open Bechamel in
+  let rng = Topology.Rng.create 7 in
+  let instances =
+    List.map
+      (fun n ->
+        (Printf.sprintf "waxman-n%d" n, Experiments.Exp_common.network rng ~n))
+      [ 50; 100; 200 ]
+    @ [ ("geant-n40", Experiments.Exp_common.geant_network rng) ]
+  in
+  let tests =
+    List.concat_map
+      (fun (label, net) ->
+        let g = Sdn.Network.graph net in
+        let weight e = Sdn.Network.link_unit_cost net e in
+        let n = Sdn.Network.n net in
+        (* one request's worth of sources: the servers plus a handful of
+           terminals *)
+        let sources =
+          List.sort_uniq compare
+            (Sdn.Network.servers net @ [ 0; n / 3; n / 2; (2 * n) / 3; n - 1 ])
+        in
+        [
+          Test.make ~name:(Printf.sprintf "apsp-eager/%s" label)
+            (Staged.stage (fun () ->
+                 ignore (Mcgraph.Paths.all_pairs g ~weight)));
+          Test.make ~name:(Printf.sprintf "lazy-engine-request/%s" label)
+            (Staged.stage (fun () ->
+                 let eng = Mcgraph.Sp_engine.create g ~weight in
+                 List.iter
+                   (fun s -> ignore (Mcgraph.Sp_engine.dist eng s 0))
+                   sources));
+          Test.make ~name:(Printf.sprintf "dijkstra-csr/%s" label)
+            (Staged.stage (fun () ->
+                 ignore (Mcgraph.Paths.dijkstra g ~weight ~source:0)));
+        ])
+      instances
+  in
+  run_micro_suite (Test.make_grouped ~name:"paths" tests)
+
+let write_micro_csv ~dir rows =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "micro_paths.csv" in
+  let oc = open_out path in
+  output_string oc "benchmark,ns_per_run\n";
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.fprintf oc "%s,%.1f\n" name est
+      | None -> Printf.fprintf oc "%s,\n" name)
+    rows;
+  close_out oc;
+  Printf.printf "# wrote %s\n%!" path
+
 let micro_benchmarks () =
   let open Bechamel in
   let rng = Topology.Rng.create 7 in
@@ -81,22 +173,8 @@ let micro_benchmarks () =
                ignore (Nfv_multicast.One_server.solve net150 req150)));
       ]
   in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-  in
-  let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
-  in
-  let raw = Benchmark.all cfg instances tests in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   print_endline "== Bechamel micro-benchmarks (monotonic clock, per run) ==";
-  Hashtbl.iter
-    (fun name ols ->
-      match Analyze.OLS.estimates ols with
-      | Some (est :: _) -> Printf.printf "%-36s %12.1f ns\n" name est
-      | _ -> Printf.printf "%-36s (no estimate)\n" name)
-    results
+  print_micro_rows (run_micro_suite tests)
 
 let () =
   Arg.parse specs (fun s -> figures := [ String.lowercase_ascii s ]) usage;
@@ -110,4 +188,12 @@ let () =
     Experiments.Exp_common.time_of (fun () -> List.iter run_figure names)
   in
   Printf.printf "# total experiment CPU time: %.1f s\n%!" elapsed;
-  if !micro then micro_benchmarks ()
+  if !micro then begin
+    micro_benchmarks ();
+    print_endline "== paths suite: eager APSP vs lazy engine vs CSR Dijkstra ==";
+    let rows = micro_paths_benchmarks () in
+    print_micro_rows rows;
+    match !csv_dir with
+    | Some dir -> write_micro_csv ~dir rows
+    | None -> ()
+  end

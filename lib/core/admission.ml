@@ -81,6 +81,10 @@ let decide net algo request =
         detail = msg;
       })
 
+(* Each admit below prices the request against the network's current
+   residuals; a successful allocate bumps [Sdn.Network.weight_epoch], so
+   per-request shortest-path engines are built fresh against the new
+   prices and sequential admissions never observe stale distances. *)
 let admit_tree net algo request =
   let of_cp = function
     | Online_cp.Admitted a -> Ok a.Online_cp.tree

@@ -32,6 +32,14 @@ let candidates ?(k = default_k) ?edge_weight ?placement_cost ~keep
       compare (ca, List.length sa, sa) (cb, List.length sb, sb))
     !found
 
+(* The [combinations] field always reports the size of the explored
+   search space: the number of non-empty server subsets of size ≤ K drawn
+   from the reachable candidate servers, feasible or not. *)
+let combinations_explored ?k aux =
+  Combinations.count_up_to
+    (List.length (Aux_graph.reachable_servers aux))
+    (Option.value k ~default:default_k)
+
 let solve_with ?k ~keep ~usable_servers net request =
   if usable_servers = [] then Error "no usable server"
   else
@@ -39,10 +47,7 @@ let solve_with ?k ~keep ~usable_servers net request =
     | [] -> Error "no feasible pseudo-multicast tree"
     | (aux_cost, subset, aux, edges) :: _ ->
       let tree = Aux_graph.to_pseudo_tree aux edges in
-      let combinations =
-        Combinations.count_up_to (List.length (Aux_graph.reachable_servers aux))
-          (Option.value k ~default:default_k)
-      in
+      let combinations = combinations_explored ?k aux in
       Ok
         {
           tree;
@@ -86,7 +91,7 @@ let admit ?k net request =
               subset = List.sort compare subset;
               aux_cost;
               cost = Pseudo_tree.cost net tree;
-              combinations = List.length cands;
+              combinations = combinations_explored ?k aux;
             }
         | Error _ -> try_cands rest)
     in

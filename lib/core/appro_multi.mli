@@ -17,7 +17,12 @@ type result = {
   cost : float;          (** honest linear implementation cost of the
                              pseudo-multicast tree (every traversal and
                              every placement charged); ≥ [aux_cost] *)
-  combinations : int;    (** combinations explored *)
+  combinations : int;    (** size of the explored search space: the
+                             number of non-empty server subsets of size
+                             ≤ [K] drawn from the reachable candidate
+                             servers, whether or not they yielded a
+                             feasible tree. [solve_with] and [admit]
+                             report the same quantity. *)
 }
 
 val solve : ?k:int -> Sdn.Network.t -> Sdn.Request.t -> (result, string) Stdlib.result

@@ -1,5 +1,6 @@
 module G = Mcgraph.Graph
 module Paths = Mcgraph.Paths
+module Sp = Mcgraph.Sp_engine
 
 type t = {
   net : Sdn.Network.t;
@@ -13,7 +14,7 @@ type t = {
   vedge_of_server : (int, int) Hashtbl.t;   (* server -> virtual edge id *)
   server_of_vedge : int array;              (* vedge id - base_m -> server *)
   wv : (int, float) Hashtbl.t;              (* server -> virtual edge weight *)
-  apsp : Paths.apsp;                        (* base graph, weight b·c_e, pruned *)
+  engine : Sp.t;                            (* base graph, weight b·c_e, pruned *)
   candidates : int list;
   source_edges : (int, int list) Hashtbl.t; (* server -> kept base edges (s_k, v) *)
 }
@@ -46,7 +47,14 @@ let build ?(keep = fun _ -> true) ?edge_weight ?placement_cost ~net ~request
     | None -> fun v -> Sdn.Network.chain_cost net v request.Sdn.Request.chain
   in
   let pruned_weight e = if keep e then edge_weight e else infinity in
-  let apsp = Paths.all_pairs g ~weight:pruned_weight in
+  (* lazy per-source engine instead of eager all-pairs: only the request
+     source, the candidate servers and the queried destinations ever get
+     a Dijkstra tree. Bound to the network's weight epoch so residual-
+     dependent [keep]/[edge_weight] closures invalidate after allocate *)
+  let engine =
+    Sp.create g ~weight:pruned_weight
+      ~epoch:(fun () -> Sdn.Network.weight_epoch net)
+  in
   let t =
     {
       net;
@@ -60,7 +68,7 @@ let build ?(keep = fun _ -> true) ?edge_weight ?placement_cost ~net ~request
       vedge_of_server;
       server_of_vedge;
       wv = Hashtbl.create 16;
-      apsp;
+      engine;
       candidates = candidate_servers;
       source_edges = Hashtbl.create 16;
     }
@@ -68,7 +76,7 @@ let build ?(keep = fun _ -> true) ?edge_weight ?placement_cost ~net ~request
   let s = request.Sdn.Request.source in
   List.iter
     (fun v ->
-      let d = t.apsp.Paths.d.(s).(v) in
+      let d = Sp.dist t.engine s v in
       let w =
         if d = infinity then infinity
         else d +. placement_cost v
@@ -101,8 +109,9 @@ let virtual_edge_weight t v =
 let reachable_servers t =
   List.filter (fun v -> virtual_edge_weight t v < infinity) t.candidates
 
-let base_dist t u v = t.apsp.Paths.d.(u).(v)
-let base_path t u v = Paths.apsp_path t.apsp u v
+let base_dist t u v = Sp.dist t.engine u v
+let base_path t u v = Sp.path t.engine u v
+let engine t = t.engine
 
 (* ------------------------------------------------------------------ *)
 (* subset metric: exact hub decomposition                               *)
@@ -116,6 +125,7 @@ type subset_metric = {
   aux : t;
   subset : int list;
   hubs : int array;           (* node ids; hubs.(0) = s_k, hubs.(1) = s'_k *)
+  hub_row : float array array; (* hubs.(i)'s engine dist array; [||] at s'_k *)
   hd : float array array;     (* hub-to-hub exact distances *)
   hmove : hub_move array array;
   zero_edges : (int, unit) Hashtbl.t;  (* base edges costing zero *)
@@ -146,6 +156,15 @@ let subset_metric t subset =
   let zero_edges = Hashtbl.create 4 in
   let hubs = Array.of_list (t.req.Sdn.Request.source :: t.vnode :: subset) in
   let h = Array.length hubs in
+  (* snapshot each hub's engine row once so the (hot) metric queries
+     below read flat float arrays, not the cache; rows are shared with
+     the engine across all subsets of the same request *)
+  let hub_row =
+    Array.map
+      (fun hv ->
+        if hv = t.vnode then [||] else (Sp.spt t.engine hv).Mcgraph.Paths.dist)
+      hubs
+  in
   let hd = Array.make_matrix h h infinity in
   let hmove = Array.make_matrix h h Base_leg in
   (* direct moves: base legs, zero edges (s_k ↔ subset server), virtual
@@ -156,7 +175,7 @@ let subset_metric t subset =
       if i <> j then begin
         let hi = hubs.(i) and hj = hubs.(j) in
         if hi <> t.vnode && hj <> t.vnode then begin
-          hd.(i).(j) <- t.apsp.Paths.d.(hi).(hj);
+          hd.(i).(j) <- hub_row.(i).(hj);
           hmove.(i).(j) <- Base_leg
         end
       end
@@ -190,7 +209,7 @@ let subset_metric t subset =
       done
     done
   done;
-  { aux = t; subset; hubs; hd; hmove; zero_edges }
+  { aux = t; subset; hubs; hub_row; hd; hmove; zero_edges }
 
 (* distance between extended nodes; hubs.(1) is the virtual node *)
 let dist sm x y =
@@ -206,29 +225,31 @@ let dist sm x y =
   else if ix >= 0 then begin
     for j = 0 to h - 1 do
       if sm.hubs.(j) <> t.vnode then begin
-        let c = sm.hd.(ix).(j) +. t.apsp.Paths.d.(sm.hubs.(j)).(y) in
+        let c = sm.hd.(ix).(j) +. sm.hub_row.(j).(y) in
         if c < !best then best := c
       end
     done
   end
   else if iy >= 0 then begin
+    let rx = (Sp.spt t.engine x).Mcgraph.Paths.dist in
     for i = 0 to h - 1 do
       if sm.hubs.(i) <> t.vnode then begin
-        let c = t.apsp.Paths.d.(x).(sm.hubs.(i)) +. sm.hd.(i).(iy) in
+        let c = rx.(sm.hubs.(i)) +. sm.hd.(i).(iy) in
         if c < !best then best := c
       end
     done
   end
   else begin
-    best := t.apsp.Paths.d.(x).(y);
+    let rx = (Sp.spt t.engine x).Mcgraph.Paths.dist in
+    best := rx.(y);
     for i = 0 to h - 1 do
       if sm.hubs.(i) <> t.vnode then
         for j = 0 to h - 1 do
           if sm.hubs.(j) <> t.vnode then begin
             let c =
-              t.apsp.Paths.d.(x).(sm.hubs.(i))
+              rx.(sm.hubs.(i))
               +. sm.hd.(i).(j)
-              +. t.apsp.Paths.d.(sm.hubs.(j)).(y)
+              +. sm.hub_row.(j).(y)
             in
             if c < !best then best := c
           end
@@ -244,7 +265,7 @@ let rec expand_hub sm i j acc =
     match sm.hmove.(i).(j) with
     | Special e -> e :: acc
     | Base_leg -> (
-      match Paths.apsp_path sm.aux.apsp sm.hubs.(i) sm.hubs.(j) with
+      match Sp.path sm.aux.engine sm.hubs.(i) sm.hubs.(j) with
       | Some p -> List.rev_append (List.rev p) acc
       | None -> invalid_arg "Aux_graph: hub base leg without path")
     | Via k -> expand_hub sm i k (expand_hub sm k j acc)
@@ -271,7 +292,7 @@ let path sm x y =
     else if ix >= 0 then begin
       for j = 0 to h - 1 do
         if sm.hubs.(j) <> t.vnode then begin
-          let c = sm.hd.(ix).(j) +. t.apsp.Paths.d.(sm.hubs.(j)).(y) in
+          let c = sm.hd.(ix).(j) +. sm.hub_row.(j).(y) in
           if c < !best then begin
             best := c;
             choice := `From_hub (ix, j)
@@ -280,9 +301,10 @@ let path sm x y =
       done
     end
     else if iy >= 0 then begin
+      let rx = (Sp.spt t.engine x).Mcgraph.Paths.dist in
       for i = 0 to h - 1 do
         if sm.hubs.(i) <> t.vnode then begin
-          let c = t.apsp.Paths.d.(x).(sm.hubs.(i)) +. sm.hd.(i).(iy) in
+          let c = rx.(sm.hubs.(i)) +. sm.hd.(i).(iy) in
           if c < !best then begin
             best := c;
             choice := `To_hub (i, iy)
@@ -291,16 +313,17 @@ let path sm x y =
       done
     end
     else begin
-      best := t.apsp.Paths.d.(x).(y);
+      let rx = (Sp.spt t.engine x).Mcgraph.Paths.dist in
+      best := rx.(y);
       choice := `Direct;
       for i = 0 to h - 1 do
         if sm.hubs.(i) <> t.vnode then
           for j = 0 to h - 1 do
             if sm.hubs.(j) <> t.vnode then begin
               let c =
-                t.apsp.Paths.d.(x).(sm.hubs.(i))
+                rx.(sm.hubs.(i))
                 +. sm.hd.(i).(j)
-                +. t.apsp.Paths.d.(sm.hubs.(j)).(y)
+                +. sm.hub_row.(j).(y)
               in
               if c < !best then begin
                 best := c;
@@ -310,21 +333,21 @@ let path sm x y =
           done
       done
     end;
-    let apsp_path_exn a b =
-      match Paths.apsp_path t.apsp a b with
+    let base_path_exn a b =
+      match Sp.path t.engine a b with
       | Some p -> p
       | None -> invalid_arg "Aux_graph.path: missing base path"
     in
     let edges =
       match !choice with
       | `None -> invalid_arg "Aux_graph.path: unreachable"
-      | `Direct -> apsp_path_exn x y
+      | `Direct -> base_path_exn x y
       | `Hub (i, j) -> expand_hub sm i j []
-      | `From_hub (i, j) -> expand_hub sm i j (apsp_path_exn sm.hubs.(j) y)
-      | `To_hub (i, j) -> apsp_path_exn x sm.hubs.(i) @ expand_hub sm i j []
+      | `From_hub (i, j) -> expand_hub sm i j (base_path_exn sm.hubs.(j) y)
+      | `To_hub (i, j) -> base_path_exn x sm.hubs.(i) @ expand_hub sm i j []
       | `Through (i, j) ->
-        apsp_path_exn x sm.hubs.(i)
-        @ expand_hub sm i j (apsp_path_exn sm.hubs.(j) y)
+        base_path_exn x sm.hubs.(i)
+        @ expand_hub sm i j (base_path_exn sm.hubs.(j) y)
     in
     Some edges
   end

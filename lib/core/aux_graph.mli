@@ -7,12 +7,15 @@
 
     Instead of materialising one graph per server combination and
     re-running Dijkstra (the naive [O(|V_S|^K)] Dijkstra blow-up), the
-    module computes all-pairs shortest paths on the base graph once and
-    evaluates each combination's metric exactly through a {e hub
+    module evaluates each combination's metric exactly through a {e hub
     decomposition}: every special edge (virtual or zeroed) is incident
     to [s_k] or [s'_k], so any shortest path is base legs stitched at the
     hubs [{s_k, s'_k} ∪ subset]. A small Floyd–Warshall over the hubs
-    yields exact distances and reconstructible paths. Tests check this
+    yields exact distances and reconstructible paths. Base-graph legs
+    come from a lazy {!Mcgraph.Sp_engine}: one Dijkstra tree per queried
+    source (the request source, candidate servers, destinations), cached
+    across all combinations and keyed by the network's weight epoch —
+    never the former eager O(V²) all-pairs tables. Tests check this
     against Dijkstra on a materialised auxiliary graph. *)
 
 type t
@@ -57,9 +60,14 @@ val reachable_servers : t -> int list
 
 val base_dist : t -> int -> int -> float
 (** Shortest-path distance in the (pruned) base graph, in units of
-    [b_k·c_e]. *)
+    [b_k·c_e]. Served by the lazy engine: the first query from a source
+    costs one Dijkstra, later queries from it are O(1). *)
 
 val base_path : t -> int -> int -> int list option
+
+val engine : t -> Mcgraph.Sp_engine.t
+(** The underlying per-source engine over the pruned base graph — epoch-
+    bound to the network, exposed for instrumentation and tests. *)
 
 type subset_metric
 (** The exact metric of [G_k^i] for one server combination. *)

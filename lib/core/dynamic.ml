@@ -70,6 +70,9 @@ let run ?(reset = true) net algo trace =
           q := Pq.insert !q (now +. a.holding) (Depart tree)
         | Error _ -> incr rejected)
       | Depart tree ->
+        (* release reprices every load-dependent weight; it bumps the
+           network's weight epoch, so the next arrival's shortest-path
+           engine cannot serve trees computed under the old prices *)
         Sdn.Network.release net (Pseudo_tree.allocation tree);
         decr concurrent;
         incr completed);

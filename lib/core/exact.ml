@@ -1,4 +1,4 @@
-module Paths = Mcgraph.Paths
+module Sp = Mcgraph.Sp_engine
 
 type result = {
   tree : Pseudo_tree.t;
@@ -118,9 +118,12 @@ let optimal_one_server net request =
   let b = request.Sdn.Request.bandwidth in
   let s = request.Sdn.Request.source in
   let weight e = b *. Sdn.Network.link_unit_cost net e in
-  let apsp = Paths.all_pairs g ~weight in
+  (* only distances/paths from the source are needed: one lazy Dijkstra *)
+  let eng =
+    Sp.create g ~weight ~epoch:(fun () -> Sdn.Network.weight_epoch net)
+  in
   let consider best v =
-    let d_sv = apsp.Paths.d.(s).(v) in
+    let d_sv = Sp.dist eng s v in
     if d_sv = infinity then best
     else begin
       let terminals = v :: request.Sdn.Request.destinations in
@@ -140,7 +143,7 @@ let optimal_one_server net request =
   match List.fold_left consider None (Sdn.Network.servers net) with
   | None -> Error "no reachable server spanning the destinations"
   | Some (_, v, tree_edges) ->
-    let to_server = Option.get (Paths.apsp_path apsp s v) in
+    let to_server = Option.get (Sp.path eng s v) in
     let rooted = Mcgraph.Tree.of_edges g ~root:v tree_edges in
     let routes =
       List.map

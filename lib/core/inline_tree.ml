@@ -1,6 +1,6 @@
 module G = Mcgraph.Graph
 module Tree = Mcgraph.Tree
-module Paths = Mcgraph.Paths
+module Sp = Mcgraph.Sp_engine
 
 let derive net request ~tree ~servers =
   let g = Sdn.Network.graph net in
@@ -100,16 +100,19 @@ let solve ?(k = 1) net request =
         Hashtbl.replace in_tree v ())
       base_tree;
     (* attachment path for off-tree servers: shortest path cut at the
-       first node already on the tree *)
-    let apsp = lazy (Paths.all_pairs g ~weight) in
+       first node already on the tree. The lazy engine computes one tree
+       per off-tree server (for the distances) plus one per chosen
+       attachment point (for the path) — not one per graph node *)
+    let eng =
+      Sp.create g ~weight ~epoch:(fun () -> Sdn.Network.weight_epoch net)
+    in
     let attach v =
       if Hashtbl.mem in_tree v then Some []
       else begin
-        let apsp = Lazy.force apsp in
         let best =
           Hashtbl.fold
             (fun x () best ->
-              let d = apsp.Paths.d.(v).(x) in
+              let d = Sp.dist eng v x in
               match best with
               | Some (d', _) when d' <= d -> best
               | _ when d = infinity -> best
@@ -119,7 +122,7 @@ let solve ?(k = 1) net request =
         match best with
         | None -> None
         | Some (_, x) -> (
-          match Paths.apsp_path apsp x v with
+          match Sp.path eng x v with
           | None -> None
           | Some p ->
             (* cut at the first departure from the tree *)

@@ -1,4 +1,4 @@
-module Paths = Mcgraph.Paths
+module Sp = Mcgraph.Sp_engine
 
 type result = {
   tree : Pseudo_tree.t;
@@ -20,9 +20,14 @@ let solve net request =
   let b = request.Sdn.Request.bandwidth in
   let s = request.Sdn.Request.source in
   let weight e = b *. Sdn.Network.link_unit_cost net e in
-  let apsp = Paths.all_pairs g ~weight in
-  let dist u v = apsp.Paths.d.(u).(v) in
-  let path u v = Paths.apsp_path apsp u v in
+  (* lazy engine: trees only for the sources actually queried — the
+     destinations (metric closure), the request source and the candidate
+     servers — instead of |V| eager Dijkstras *)
+  let eng =
+    Sp.create g ~weight ~epoch:(fun () -> Sdn.Network.weight_epoch net)
+  in
+  let dist u v = Sp.dist eng u v in
+  let path u v = Sp.path eng u v in
   let destinations = List.sort_uniq compare request.Sdn.Request.destinations in
   let points = Array.of_list destinations in
   match Mcgraph.Mst.prim_metric ~points ~dist with

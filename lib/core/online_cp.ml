@@ -1,4 +1,5 @@
 module Paths = Mcgraph.Paths
+module Sp = Mcgraph.Sp_engine
 module Tree = Mcgraph.Tree
 
 type params = {
@@ -72,25 +73,30 @@ let admit ?(mode = `Exponential) ?params net request =
   in
   if usable = [] then Rejected No_feasible_server
   else begin
-    (* one Dijkstra per terminal, shared by every candidate server *)
+    (* one lazy Dijkstra per terminal, shared by every candidate server;
+       the engine is keyed by the network's weight epoch, so the
+       load-dependent exponential weights invalidate on allocate/release
+       rather than the caller rebuilding state from scratch *)
     let terminals = List.sort_uniq compare (s :: request.Sdn.Request.destinations) in
-    let spt_of = Hashtbl.create 16 in
-    List.iter
-      (fun t -> Hashtbl.replace spt_of t (Paths.dijkstra g ~weight:link_w ~source:t))
-      terminals;
+    let eng =
+      Sp.create g ~weight:link_w
+        ~epoch:(fun () -> Sdn.Network.weight_epoch net)
+    in
+    List.iter (fun t -> ignore (Sp.spt eng t)) terminals;
+    (* non-terminal sources (candidate servers) answer from the terminal
+       end's tree by symmetry, so servers never cost a Dijkstra *)
     let dist x y =
-      match Hashtbl.find_opt spt_of x with
+      match Sp.peek eng x with
       | Some spt -> spt.Paths.dist.(y)
-      | None -> (Hashtbl.find spt_of y).Paths.dist.(x)
+      | None -> (Sp.spt eng y).Paths.dist.(x)
     in
     let path x y =
-      match Hashtbl.find_opt spt_of x with
+      match Sp.peek eng x with
       | Some spt -> Paths.path_edges g spt y
-      | None ->
-        Option.map List.rev (Paths.path_edges g (Hashtbl.find spt_of y) x)
+      | None -> Option.map List.rev (Paths.path_edges g (Sp.spt eng y) x)
     in
     let reachable =
-      let spt_s = Hashtbl.find spt_of s in
+      let spt_s = Sp.spt eng s in
       List.for_all
         (fun d -> spt_s.Paths.dist.(d) < infinity)
         request.Sdn.Request.destinations

@@ -28,6 +28,10 @@ let admit ?(k = 2) ?alpha ?beta net request =
   in
   if usable = [] then Rejected "no server with enough computing residual"
   else begin
+    (* The load-dependent weights are read through the per-request lazy
+       engine inside Aux_graph. Trying candidates in order below stays
+       consistent with the prices they were scored at: a failed allocate
+       changes nothing (atomic) and does not bump the weight epoch. *)
     let cands =
       Appro_multi.candidates ~k ~keep ~usable_servers:usable net request
         ~edge_weight ~placement_cost

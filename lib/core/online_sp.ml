@@ -1,4 +1,5 @@
 module Paths = Mcgraph.Paths
+module Sp = Mcgraph.Sp_engine
 
 type admitted = {
   tree : Pseudo_tree.t;
@@ -27,8 +28,11 @@ let admit net request =
   in
   if usable = [] then Rejected "no server with enough computing residual"
   else begin
+    let eng =
+      Sp.create g ~weight ~epoch:(fun () -> Sdn.Network.weight_epoch net)
+    in
     let consider acc v =
-      let spt = Paths.dijkstra g ~weight ~source:v in
+      let spt = Sp.spt eng v in
       if spt.Paths.dist.(s) = infinity then acc
       else if
         List.exists

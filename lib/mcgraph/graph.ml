@@ -1,14 +1,28 @@
+type csr = {
+  off : int array;                  (* node -> first slot; length n+1 *)
+  nbr : int array;                  (* flat neighbor array, length 2m *)
+  eid : int array;                  (* flat edge-id array, length 2m *)
+}
+
 type t = {
   n : int;
   mutable m : int;
   mutable eu : int array;           (* endpoint arrays, grown geometrically *)
   mutable ev : int array;
   adj : (int * int) list array;     (* node -> (neighbor, edge id) list *)
+  mutable csr_cache : csr option;   (* frozen view, dropped on add_edge *)
 }
 
 let create n =
   if n < 0 then invalid_arg "Graph.create: negative size";
-  { n; m = 0; eu = Array.make 8 0; ev = Array.make 8 0; adj = Array.make (max n 1) [] }
+  {
+    n;
+    m = 0;
+    eu = Array.make 8 0;
+    ev = Array.make 8 0;
+    adj = Array.make (max n 1) [];
+    csr_cache = None;
+  }
 
 let n g = g.n
 let m g = g.m
@@ -37,6 +51,7 @@ let add_edge g u v =
   g.adj.(u) <- (v, e) :: g.adj.(u);
   g.adj.(v) <- (u, e) :: g.adj.(v);
   g.m <- e + 1;
+  g.csr_cache <- None;
   e
 
 let of_edges ~n:nodes edges =
@@ -95,6 +110,35 @@ let fold_edges g ~init ~f =
 let edge_list g =
   List.rev (fold_edges g ~init:[] ~f:(fun acc e u v -> (e, u, v) :: acc))
 
+let build_csr g =
+  let off = Array.make (g.n + 1) 0 in
+  for u = 0 to g.n - 1 do
+    off.(u + 1) <- off.(u) + List.length g.adj.(u)
+  done;
+  let slots = off.(g.n) in
+  let nbr = Array.make (max slots 1) (-1) in
+  let eid = Array.make (max slots 1) (-1) in
+  for u = 0 to g.n - 1 do
+    (* keep the adjacency-list order so CSR traversal is observationally
+       identical to [iter_neighbors] (same tie-breaking in Dijkstra &c.) *)
+    let i = ref off.(u) in
+    List.iter
+      (fun (v, e) ->
+        nbr.(!i) <- v;
+        eid.(!i) <- e;
+        incr i)
+      g.adj.(u)
+  done;
+  { off; nbr; eid }
+
+let csr g =
+  match g.csr_cache with
+  | Some c -> c
+  | None ->
+    let c = build_csr g in
+    g.csr_cache <- Some c;
+    c
+
 let copy g =
   {
     n = g.n;
@@ -102,6 +146,7 @@ let copy g =
     eu = Array.copy g.eu;
     ev = Array.copy g.ev;
     adj = Array.copy g.adj;
+    csr_cache = g.csr_cache;   (* immutable once built; safe to share *)
   }
 
 let pp ppf g = Format.fprintf ppf "graph(n=%d, m=%d)" g.n g.m

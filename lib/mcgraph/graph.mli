@@ -40,6 +40,21 @@ val iter_neighbors : t -> int -> (int -> int -> unit) -> unit
 (** [iter_neighbors g u f] calls [f neighbor edge_id] for each incident
     edge; allocation-free hot path for graph algorithms. *)
 
+type csr = {
+  off : int array;   (** [off.(u) .. off.(u+1)-1] index node [u]'s slots; length [n+1] *)
+  nbr : int array;   (** neighbor per slot; length [2m] *)
+  eid : int array;   (** edge id per slot; length [2m] *)
+}
+(** Frozen compressed-sparse-row adjacency: three flat unboxed arrays,
+    so inner relaxation loops avoid chasing [(int * int) list] cells.
+    Slot order per node matches {!iter_neighbors}, keeping tie-breaking
+    in shortest-path algorithms identical across both views. *)
+
+val csr : t -> csr
+(** The CSR view of the current edge set. Built once and cached;
+    [add_edge] invalidates the cache, so hold the returned value only
+    while the graph is not mutated. *)
+
 val degree : t -> int -> int
 
 val find_edge : t -> int -> int -> int option

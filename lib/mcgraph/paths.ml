@@ -7,6 +7,8 @@ type spt = {
 
 let dijkstra g ~weight ~source =
   let nn = Graph.n g in
+  let c = Graph.csr g in
+  let off = c.Graph.off and nbr = c.Graph.nbr and eid = c.Graph.eid in
   let dist = Array.make nn infinity in
   let parent_edge = Array.make nn (-1) in
   let parent = Array.make nn (-1) in
@@ -19,20 +21,23 @@ let dijkstra g ~weight ~source =
     | None -> ()
     | Some (u, du) ->
       settled.(u) <- true;
-      Graph.iter_neighbors g u (fun v e ->
-          if not settled.(v) then begin
-            let w = weight e in
-            if w < 0.0 then invalid_arg "Paths.dijkstra: negative weight";
-            if w < infinity then begin
-              let d' = du +. w in
-              if d' < dist.(v) then begin
-                dist.(v) <- d';
-                parent_edge.(v) <- e;
-                parent.(v) <- u;
-                Heap.insert_or_decrease heap ~key:v d'
-              end
+      for i = off.(u) to off.(u + 1) - 1 do
+        let v = nbr.(i) in
+        if not settled.(v) then begin
+          let e = eid.(i) in
+          let w = weight e in
+          if w < 0.0 then invalid_arg "Paths.dijkstra: negative weight";
+          if w < infinity then begin
+            let d' = du +. w in
+            if d' < dist.(v) then begin
+              dist.(v) <- d';
+              parent_edge.(v) <- e;
+              parent.(v) <- u;
+              Heap.insert_or_decrease heap ~key:v d'
             end
-          end);
+          end
+        end
+      done;
       drain ()
   in
   drain ();

@@ -1,0 +1,81 @@
+(* Lazy per-source shortest-path engine: Dijkstra trees computed on
+   demand and cached by (source, weight-epoch). See sp_engine.mli.
+
+   Storage is two O(V) arrays rather than a hash table: [spt] sits on
+   the hot path of the auxiliary-graph metric (hundreds of thousands of
+   queries per request), and an array read keeps a cache hit as cheap as
+   the eager all-pairs row access it replaces. *)
+
+type stats = {
+  trees_computed : int;
+  cache_hits : int;
+  invalidations : int;
+}
+
+type t = {
+  graph : Graph.t;
+  weight : int -> float;
+  epoch : unit -> int;
+  cache : Paths.spt option array;   (* per-source tree, or None *)
+  cache_epoch : int array;          (* epoch the cached tree was built at *)
+  mutable computed : int;
+  mutable hits : int;
+  mutable stale_drops : int;
+}
+
+let total_computed = ref 0
+
+let global_trees_computed () = !total_computed
+
+let create ?(epoch = fun () -> 0) graph ~weight =
+  let n = max (Graph.n graph) 1 in
+  {
+    graph;
+    weight;
+    epoch;
+    cache = Array.make n None;
+    cache_epoch = Array.make n min_int;
+    computed = 0;
+    hits = 0;
+    stale_drops = 0;
+  }
+
+let graph t = t.graph
+
+let spt t source =
+  let now = t.epoch () in
+  match t.cache.(source) with
+  | Some tree when t.cache_epoch.(source) = now ->
+    t.hits <- t.hits + 1;
+    tree
+  | prev ->
+    if prev <> None then t.stale_drops <- t.stale_drops + 1;
+    let tree = Paths.dijkstra t.graph ~weight:t.weight ~source in
+    t.computed <- t.computed + 1;
+    incr total_computed;
+    t.cache.(source) <- Some tree;
+    t.cache_epoch.(source) <- now;
+    tree
+
+let peek t source =
+  match t.cache.(source) with
+  | Some tree when t.cache_epoch.(source) = t.epoch () -> Some tree
+  | _ -> None
+
+let dist t u v = (spt t u).Paths.dist.(v)
+
+let path t u v = Paths.path_edges t.graph (spt t u) v
+
+let path_nodes t u v = Paths.path_nodes t.graph (spt t u) v
+
+let invalidate t =
+  Array.iteri
+    (fun i tree -> if tree <> None then begin
+        t.stale_drops <- t.stale_drops + 1;
+        t.cache.(i) <- None;
+        t.cache_epoch.(i) <- min_int
+      end)
+    t.cache
+
+let stats t =
+  { trees_computed = t.computed; cache_hits = t.hits; invalidations = t.stale_drops }

@@ -1,0 +1,66 @@
+(** Lazy, demand-driven single-source shortest-path engine.
+
+    The auxiliary-graph construction and the baselines only ever query
+    distances from a handful of sources (the request source, the ≤K
+    candidate servers, the destinations), so computing all-pairs shortest
+    paths eagerly — |V| Dijkstras and O(V²) arrays per request — is
+    wasted work. This engine computes one Dijkstra tree per {e queried}
+    source, over the graph's frozen CSR view, and caches it keyed by
+    [(source, weight-epoch)].
+
+    The weight epoch is a version counter supplied at creation (e.g.
+    {!Sdn.Network.weight_epoch}, bumped on every allocate/release).
+    When weights are load-dependent — the online algorithms' exponential
+    prices read residual capacities — a bumped epoch makes every cached
+    tree stale, and the next query recomputes instead of serving wrong
+    distances. With the default constant epoch the cache never expires,
+    which is correct for pure functions of the edge id.
+
+    Determinism: [dist t u v] and [path t u v] always answer from [u]'s
+    tree (never the symmetric [v] tree), so results are bit-identical to
+    the eager {!Paths.all_pairs} rows they replace, including tie-breaks. *)
+
+type t
+
+type stats = {
+  trees_computed : int;   (** Dijkstra runs performed by this engine *)
+  cache_hits : int;       (** [spt] calls answered from cache *)
+  invalidations : int;    (** cached trees dropped as stale (epoch bump
+                              or explicit {!invalidate}) *)
+}
+
+val create : ?epoch:(unit -> int) -> Graph.t -> weight:(int -> float) -> t
+(** [create ?epoch g ~weight] prepares an engine; no Dijkstra runs until
+    the first query. [weight] is read at tree-computation time, so it may
+    consult mutable state as long as [epoch] changes whenever that state
+    does. Default [epoch] is constant [0] (immutable weights). *)
+
+val graph : t -> Graph.t
+
+val spt : t -> int -> Paths.spt
+(** The shortest-path tree rooted at a source, computed on first use and
+    cached while the epoch is unchanged. *)
+
+val peek : t -> int -> Paths.spt option
+(** A cached, current-epoch tree if one exists; never computes. Lets
+    callers exploit distance symmetry ([d(u,v) = d(v,u)] on undirected
+    graphs) without triggering extra Dijkstras. *)
+
+val dist : t -> int -> int -> float
+(** [dist t u v] from [u]'s tree; [infinity] when unreachable. *)
+
+val path : t -> int -> int -> int list option
+(** Edge ids of a shortest [u → v] path in travel order, from [u]'s
+    tree; [None] if unreachable, [Some []] when [u = v]. *)
+
+val path_nodes : t -> int -> int -> int list option
+(** Nodes of the same path, starting with [u]. *)
+
+val invalidate : t -> unit
+(** Drop every cached tree regardless of epoch. *)
+
+val stats : t -> stats
+
+val global_trees_computed : unit -> int
+(** Process-wide count of Dijkstra trees computed by all engines — an
+    observability hook for benchmarks and admission statistics. *)

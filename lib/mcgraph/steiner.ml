@@ -117,14 +117,18 @@ let exact g ~weight ~terminals =
   if t <= 1 then Some []
   else begin
     let nn = Graph.n g in
-    let apsp = Paths.all_pairs g ~weight in
     let terms = Array.of_list uniq in
+    (* only distances/paths from the ≤15 terminals are consulted, so run
+       one Dijkstra per terminal rather than eager all-pairs *)
+    let term_spt =
+      Array.map (fun t -> Paths.dijkstra g ~weight ~source:t) terms
+    in
     let full = (1 lsl t) - 1 in
     let dp = Array.make_matrix (full + 1) nn infinity in
     let choice = Array.make_matrix (full + 1) nn Dw_leaf in
     for i = 0 to t - 1 do
       for v = 0 to nn - 1 do
-        dp.(1 lsl i).(v) <- apsp.Paths.d.(terms.(i)).(v);
+        dp.(1 lsl i).(v) <- term_spt.(i).Paths.dist.(v);
         choice.(1 lsl i).(v) <- Dw_leaf
       done
     done;
@@ -193,7 +197,7 @@ let exact g ~weight ~terminals =
             let rec find i = if mask = 1 lsl i then i else find (i + 1) in
             find 0
           in
-          (match Paths.apsp_path apsp terms.(i) v with
+          (match Paths.path_edges g term_spt.(i) v with
           | Some path -> edges := path @ !edges
           | None -> assert false)
         | Dw_merge sub ->

@@ -12,6 +12,7 @@ type t = {
   link_cost : float array;
   srv_cost : float array;
   link_del : float array;
+  mutable epoch : int;   (* bumped whenever residual state changes *)
 }
 
 type profile = {
@@ -74,6 +75,7 @@ let make ?(profile = default_profile) ~rng ~servers topo =
     link_cost;
     srv_cost;
     link_del;
+    epoch = 0;
   }
 
 let make_explicit ?link_residuals ?server_residuals ?link_delays ~topology:topo
@@ -136,6 +138,7 @@ let make_explicit ?link_residuals ?server_residuals ?link_delays ~topology:topo
         if Array.length d <> mm then
           invalid_arg "Network.make_explicit: delay size mismatch";
         Array.copy d);
+    epoch = 0;
   }
 
 let make_random_servers ?profile ?(fraction = 0.1) ~rng topo =
@@ -217,6 +220,7 @@ let allocate t alloc =
   | None ->
     List.iter (fun (e, amt) -> t.link_res.(e) <- t.link_res.(e) -. amt) alloc.links;
     List.iter (fun (v, amt) -> t.srv_res.(v) <- t.srv_res.(v) -. amt) alloc.nodes;
+    t.epoch <- t.epoch + 1;
     Ok ()
 
 let release t alloc =
@@ -234,11 +238,15 @@ let release t alloc =
         invalid_arg "Network.release: server over-release")
     nodes;
   List.iter (fun (e, amt) -> t.link_res.(e) <- min t.link_cap.(e) (t.link_res.(e) +. amt)) links;
-  List.iter (fun (v, amt) -> t.srv_res.(v) <- min t.srv_cap.(v) (t.srv_res.(v) +. amt)) nodes
+  List.iter (fun (v, amt) -> t.srv_res.(v) <- min t.srv_cap.(v) (t.srv_res.(v) +. amt)) nodes;
+  t.epoch <- t.epoch + 1
 
 let reset t =
   Array.blit t.link_cap 0 t.link_res 0 (Array.length t.link_cap);
-  Array.blit t.srv_cap 0 t.srv_res 0 (Array.length t.srv_cap)
+  Array.blit t.srv_cap 0 t.srv_res 0 (Array.length t.srv_cap);
+  t.epoch <- t.epoch + 1
+
+let weight_epoch t = t.epoch
 
 let link_utilization t e =
   check_link t e "Network.link_utilization";

@@ -113,6 +113,15 @@ val release : t -> allocation -> unit
 val reset : t -> unit
 (** Restore all residuals to full capacity. *)
 
+val weight_epoch : t -> int
+(** Version counter of the residual state: bumped by every successful
+    {!allocate}, every {!release} and every {!reset}. Weight functions
+    that read residuals (capacity pruning, the online algorithms'
+    exponential prices) are pure between two equal readings of this
+    counter, which is exactly the invariant {!Mcgraph.Sp_engine} needs
+    to cache shortest-path trees across queries and invalidate them
+    when load changes. *)
+
 (** {1 Metrics} *)
 
 val link_utilization : t -> int -> float

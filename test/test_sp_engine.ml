@@ -1,0 +1,177 @@
+(* The lazy Sp_engine must be observationally identical to the eager
+   Paths.all_pairs it replaced — same distances AND same extracted paths
+   (tie-breaks included), on the pruned weight functions the algorithms
+   use (infeasible links priced at infinity). It must also recompute
+   trees when the network's weight epoch moves. *)
+
+module G = Mcgraph.Graph
+module Paths = Mcgraph.Paths
+module Sp = Mcgraph.Sp_engine
+module Rng = Topology.Rng
+module N = Sdn.Network
+
+(* A Waxman graph with weights where a random subset of edges is pruned
+   to infinity, as capacitated algorithms do with saturated links. *)
+let waxman_with_pruning seed =
+  let rng = Rng.create seed in
+  let n = Rng.int_range rng 8 40 in
+  let topo = Topology.Waxman.generate ~alpha:0.5 ~beta:0.4 rng ~n in
+  let g = topo.Topology.Topo.graph in
+  let w =
+    Array.init (G.m g) (fun _ ->
+        if Rng.float rng 1.0 < 0.15 then infinity
+        else Rng.float_range rng 0.1 10.0)
+  in
+  (g, fun e -> w.(e))
+
+(* --- lazy vs eager equivalence ----------------------------------------- *)
+
+let prop_dist_equals_eager =
+  Tutil.qtest ~count:120 "lazy dist = eager all_pairs dist"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let g, weight = waxman_with_pruning seed in
+      let eager = Paths.all_pairs g ~weight in
+      let eng = Sp.create g ~weight in
+      let n = G.n g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if Sp.dist eng u v <> Paths.apsp_dist eager u v then ok := false
+        done
+      done;
+      !ok)
+
+let prop_path_equals_eager =
+  Tutil.qtest ~count:120 "lazy path = eager all_pairs path (tie-breaks)"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let g, weight = waxman_with_pruning seed in
+      let eager = Paths.all_pairs g ~weight in
+      let eng = Sp.create g ~weight in
+      let n = G.n g in
+      let rng = Rng.create (seed + 1) in
+      let ok = ref true in
+      (* paths are heavier to extract; sample pairs instead of all n² *)
+      for _ = 1 to 50 do
+        let u = Rng.int rng n and v = Rng.int rng n in
+        if Sp.path eng u v <> Paths.apsp_path eager u v then ok := false
+      done;
+      !ok)
+
+let prop_queries_are_lazy =
+  Tutil.qtest ~count:60 "engine computes only the queried source trees"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let g, weight = waxman_with_pruning seed in
+      let eng = Sp.create g ~weight in
+      let n = G.n g in
+      let sources = List.sort_uniq compare [ 0; n / 2; n - 1 ] in
+      List.iter (fun u -> ignore (Sp.dist eng u 0)) sources;
+      (* repeated queries from cached sources must not add trees *)
+      List.iter (fun u -> ignore (Sp.dist eng u (n - 1))) sources;
+      let st = Sp.stats eng in
+      st.Sp.trees_computed = List.length sources
+      && st.Sp.cache_hits >= List.length sources)
+
+(* --- epoch invalidation ------------------------------------------------ *)
+
+(* Distances under a residual-dependent weight must change after an
+   allocate: the engine may not serve the pre-allocation tree. *)
+let test_epoch_invalidation () =
+  let rng = Rng.create 42 in
+  let topo = Topology.Waxman.generate ~alpha:0.6 ~beta:0.5 rng ~n:20 in
+  let net = N.make_random_servers ~fraction:0.3 ~rng topo in
+  let g = N.graph net in
+  (* weight = congestion-style price: rises with consumed bandwidth *)
+  let weight e =
+    let cap = N.link_capacity net e in
+    1.0 +. ((cap -. N.link_residual net e) /. cap *. 100.0)
+  in
+  let eng = Sp.create g ~weight ~epoch:(fun () -> N.weight_epoch net) in
+  let u, v = G.endpoints g 0 in
+  let d_before = Sp.dist eng u v in
+  (* consume half of edge 0's bandwidth; epoch bumps, weights rise *)
+  let half = N.link_capacity net 0 /. 2.0 in
+  (match N.allocate net { N.links = [ (0, half) ]; nodes = [] } with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "allocate failed: %s" e);
+  let d_after = Sp.dist eng u v in
+  Alcotest.(check bool) "distance rose after allocate" true (d_after > d_before);
+  let st = Sp.stats eng in
+  Alcotest.(check bool) "stale tree was dropped" true (st.Sp.invalidations >= 1);
+  (* release returns to the original prices — and bumps the epoch again *)
+  N.release net { N.links = [ (0, half) ]; nodes = [] };
+  Alcotest.(check (Tutil.check_float)) "release restores distances" d_before
+    (Sp.dist eng u v)
+
+let test_epoch_stability () =
+  (* without any allocation the epoch is stable: queries hit the cache *)
+  let rng = Rng.create 43 in
+  let topo = Topology.Waxman.generate rng ~n:15 in
+  let net = N.make_random_servers ~fraction:0.3 ~rng topo in
+  let g = N.graph net in
+  let eng =
+    Sp.create g ~weight:(fun _ -> 1.0) ~epoch:(fun () -> N.weight_epoch net)
+  in
+  for _ = 1 to 5 do
+    ignore (Sp.dist eng 0 (G.n g - 1))
+  done;
+  let st = Sp.stats eng in
+  Alcotest.(check int) "one tree" 1 st.Sp.trees_computed;
+  Alcotest.(check int) "no invalidations" 0 st.Sp.invalidations
+
+(* --- CSR structural sanity --------------------------------------------- *)
+
+let test_csr_matches_adjacency () =
+  let g, _ = waxman_with_pruning 7 in
+  let c = G.csr g in
+  let n = G.n g in
+  Alcotest.(check int) "offset array length" (n + 1) (Array.length c.G.off);
+  Alcotest.(check int) "slot count = 2m" (2 * G.m g) (Array.length c.G.nbr);
+  for u = 0 to n - 1 do
+    (* CSR row of u must list neighbors in iter_neighbors order *)
+    let expected = ref [] in
+    G.iter_neighbors g u (fun v e -> expected := (v, e) :: !expected);
+    let expected = List.rev !expected in
+    let got = ref [] in
+    for i = c.G.off.(u) to c.G.off.(u + 1) - 1 do
+      got := (c.G.nbr.(i), c.G.eid.(i)) :: !got
+    done;
+    let got = List.rev !got in
+    if expected <> got then Alcotest.failf "CSR row %d disagrees" u
+  done
+
+let test_csr_invalidated_by_add_edge () =
+  let g = G.create 4 in
+  ignore (G.add_edge g 0 1);
+  let c1 = G.csr g in
+  Alcotest.(check int) "one edge" 2 (Array.length c1.G.nbr);
+  ignore (G.add_edge g 1 2);
+  let c2 = G.csr g in
+  Alcotest.(check int) "rebuilt after add_edge" 4 (Array.length c2.G.nbr)
+
+let () =
+  Alcotest.run "sp_engine"
+    [
+      ( "equivalence",
+        [
+          prop_dist_equals_eager;
+          prop_path_equals_eager;
+          prop_queries_are_lazy;
+        ] );
+      ( "epoch",
+        [
+          Alcotest.test_case "allocate invalidates" `Quick
+            test_epoch_invalidation;
+          Alcotest.test_case "stable epoch hits cache" `Quick
+            test_epoch_stability;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "matches adjacency order" `Quick
+            test_csr_matches_adjacency;
+          Alcotest.test_case "add_edge invalidates" `Quick
+            test_csr_invalidated_by_add_edge;
+        ] );
+    ]
