@@ -8,6 +8,7 @@ let seed = ref 1
 let requests = ref None
 let micro = ref false
 let csv_dir = ref None
+let stats = ref false
 
 let specs =
   [
@@ -21,10 +22,14 @@ let specs =
     ("--micro", Arg.Set micro, " also run Bechamel micro-benchmarks");
     ( "--csv",
       Arg.String (fun d -> csv_dir := Some d),
-      "DIR  also write each figure as DIR/<id>.csv" );
+      "DIR  also write each figure as DIR/<id>.csv (and DIR/micro_obs.csv)" );
+    ( "--stats",
+      Arg.Set stats,
+      " record Nfv_obs telemetry and dump the table to stderr on exit" );
   ]
 
-let usage = "main.exe [--figure FIG] [--seed N] [--requests N] [--micro] [--csv DIR]"
+let usage =
+  "main.exe [--figure FIG] [--seed N] [--requests N] [--micro] [--csv DIR] [--stats]"
 
 let run_figure name =
   let seed = !seed in
@@ -176,8 +181,19 @@ let micro_benchmarks () =
   print_endline "== Bechamel micro-benchmarks (monotonic clock, per run) ==";
   print_micro_rows (run_micro_suite tests)
 
+(* snapshot of every Nfv_obs instrument, same directory as the figure
+   CSVs; rows are kind-tagged so one file carries all instrument kinds *)
+let write_obs_csv ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "micro_obs.csv" in
+  let oc = open_out path in
+  output_string oc (Nfv_obs.Obs.Export.(to_csv (snapshot ())));
+  close_out oc;
+  Printf.printf "# wrote %s\n%!" path
+
 let () =
   Arg.parse specs (fun s -> figures := [ String.lowercase_ascii s ]) usage;
+  if !stats then Nfv_obs.Obs.enabled := true;
   let names =
     match !figures with
     | [ "all" ] ->
@@ -196,4 +212,6 @@ let () =
     match !csv_dir with
     | Some dir -> write_micro_csv ~dir rows
     | None -> ()
-  end
+  end;
+  (match !csv_dir with Some dir -> write_obs_csv ~dir | None -> ());
+  if !stats then Nfv_obs.Obs.Export.print_table stderr

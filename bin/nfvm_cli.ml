@@ -24,6 +24,22 @@ let k_arg =
   let doc = "Maximum number of servers per service chain (K)." in
   Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc)
 
+let stats_arg =
+  let doc =
+    "Record telemetry (cache hit/miss counters, per-algorithm Dijkstra and \
+     relaxation counts, per-request solve-time histograms) and print the \
+     nfv-obs table to stderr on exit."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+(* flip the recording switch for the command body, dump the report after;
+   stdout stays machine-readable, telemetry goes to stderr *)
+let with_stats stats f =
+  if stats then Nfv_obs.Obs.enabled := true;
+  let r = f () in
+  if stats then Nfv_obs.Obs.Export.print_table stderr;
+  r
+
 let parse_topology rng spec =
   match String.split_on_char ':' spec with
   | [ "geant" ] ->
@@ -52,8 +68,11 @@ let make_network rng spec =
 let run_figures figs = Experiments.Exp_common.render_all Format.std_formatter figs
 
 let figure_cmd name doc run =
-  let action seed requests = run_figures (run ~seed ?requests ()) in
-  Cmd.v (Cmd.info name ~doc) Term.(const action $ seed_arg $ requests_arg)
+  let action seed requests stats =
+    with_stats stats (fun () -> run_figures (run ~seed ?requests ()))
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const action $ seed_arg $ requests_arg $ stats_arg)
 
 let fig5_cmd =
   figure_cmd "fig5" "Fig. 5: Appro_Multi vs Alg_One_Server on random networks"
@@ -77,47 +96,59 @@ let fig9_cmd =
 
 let ablation_cmd =
   let doc = "Ablations: cost model (A1) and K sweep (A2)." in
-  let action seed = run_figures (Experiments.Ablation.run ~seed ()) in
-  Cmd.v (Cmd.info "ablation" ~doc) Term.(const action $ seed_arg)
+  let action seed stats =
+    with_stats stats (fun () -> run_figures (Experiments.Ablation.run ~seed ()))
+  in
+  Cmd.v (Cmd.info "ablation" ~doc) Term.(const action $ seed_arg $ stats_arg)
 
 let dynamic_cmd =
   let doc = "Extension: acceptance under request departures vs offered load." in
-  let action seed requests =
-    run_figures (Experiments.Dynamic_load.run ~seed ?arrivals:requests ())
+  let action seed requests stats =
+    with_stats stats (fun () ->
+        run_figures (Experiments.Dynamic_load.run ~seed ?arrivals:requests ()))
   in
-  Cmd.v (Cmd.info "dynamic" ~doc) Term.(const action $ seed_arg $ requests_arg)
+  Cmd.v (Cmd.info "dynamic" ~doc)
+    Term.(const action $ seed_arg $ requests_arg $ stats_arg)
 
 let batch_cmd =
   let doc = "Extension: offline batch admission order comparison." in
-  let action seed = run_figures (Experiments.Batch_order.run ~seed ()) in
-  Cmd.v (Cmd.info "batch" ~doc) Term.(const action $ seed_arg)
+  let action seed stats =
+    with_stats stats (fun () ->
+        run_figures (Experiments.Batch_order.run ~seed ()))
+  in
+  Cmd.v (Cmd.info "batch" ~doc) Term.(const action $ seed_arg $ stats_arg)
 
 let delay_cmd =
   let doc = "Extension: delay-bounded admission vs deadline tightness." in
-  let action seed requests =
-    run_figures (Experiments.Delay_exp.run ~seed ?requests ())
+  let action seed requests stats =
+    with_stats stats (fun () ->
+        run_figures (Experiments.Delay_exp.run ~seed ?requests ()))
   in
-  Cmd.v (Cmd.info "delay" ~doc) Term.(const action $ seed_arg $ requests_arg)
+  Cmd.v (Cmd.info "delay" ~doc)
+    Term.(const action $ seed_arg $ requests_arg $ stats_arg)
 
 let tables_cmd =
   let doc = "Extension: per-switch forwarding-table budgets." in
-  let action seed requests =
-    run_figures (Experiments.Table_exp.run ~seed ?requests ())
+  let action seed requests stats =
+    with_stats stats (fun () ->
+        run_figures (Experiments.Table_exp.run ~seed ?requests ()))
   in
-  Cmd.v (Cmd.info "tables" ~doc) Term.(const action $ seed_arg $ requests_arg)
+  Cmd.v (Cmd.info "tables" ~doc)
+    Term.(const action $ seed_arg $ requests_arg $ stats_arg)
 
 let all_cmd =
   let doc = "Every figure and ablation (the full reproduction run)." in
-  let action seed =
-    run_figures (Experiments.Fig5.run ~seed ());
-    run_figures (Experiments.Fig6.run ~seed ());
-    run_figures (Experiments.Fig7.run ~seed ());
-    run_figures (Experiments.Fig8.run ~seed ());
-    run_figures (Experiments.Fig9.run ~seed ());
-    run_figures (Experiments.Ablation.run ~seed ());
-    run_figures (Experiments.Dynamic_load.run ~seed ())
+  let action seed stats =
+    with_stats stats (fun () ->
+        run_figures (Experiments.Fig5.run ~seed ());
+        run_figures (Experiments.Fig6.run ~seed ());
+        run_figures (Experiments.Fig7.run ~seed ());
+        run_figures (Experiments.Fig8.run ~seed ());
+        run_figures (Experiments.Fig9.run ~seed ());
+        run_figures (Experiments.Ablation.run ~seed ());
+        run_figures (Experiments.Dynamic_load.run ~seed ()))
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const action $ seed_arg)
+  Cmd.v (Cmd.info "all" ~doc) Term.(const action $ seed_arg $ stats_arg)
 
 (* ---------- solve one request ---------- *)
 
@@ -126,7 +157,8 @@ let solve_cmd =
   let dests_arg =
     Arg.(value & opt int 5 & info [ "destinations" ] ~docv:"N" ~doc:"Destination count.")
   in
-  let action seed topo_spec k dests =
+  let action seed topo_spec k dests stats =
+    with_stats stats @@ fun () ->
     let rng = Topology.Rng.create seed in
     let net = make_network rng topo_spec in
     Format.printf "%a@." Sdn.Network.pp net;
@@ -162,13 +194,14 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc)
-    Term.(const action $ seed_arg $ topology_arg $ k_arg $ dests_arg)
+    Term.(const action $ seed_arg $ topology_arg $ k_arg $ dests_arg $ stats_arg)
 
 (* ---------- online admission race ---------- *)
 
 let admit_cmd =
   let doc = "Race the online algorithms on an arrival sequence." in
-  let action seed topo_spec requests =
+  let action seed topo_spec requests stats =
+    with_stats stats @@ fun () ->
     let count = Option.value requests ~default:500 in
     let rng = Topology.Rng.create seed in
     let net = make_network rng topo_spec in
@@ -190,7 +223,7 @@ let admit_cmd =
   in
   Cmd.v
     (Cmd.info "admit" ~doc)
-    Term.(const action $ seed_arg $ topology_arg $ requests_arg)
+    Term.(const action $ seed_arg $ topology_arg $ requests_arg $ stats_arg)
 
 let main =
   let doc = "NFV-enabled multicasting in SDNs (ICDCS 2017 reproduction)" in

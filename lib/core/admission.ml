@@ -1,3 +1,11 @@
+module Obs = Nfv_obs.Obs
+
+let c_sp_hits = Obs.Counter.make "sp_engine.cache_hits"
+let c_sp_misses = Obs.Counter.make "sp_engine.cache_misses"
+let c_dijkstra_runs = Obs.Counter.make "dijkstra.runs"
+let t_run = Obs.Timer.make "admission.run"
+let g_mean_util = Obs.Gauge.make "network.mean_link_utilization"
+
 type algorithm =
   | Online_cp
   | Online_cp_no_threshold
@@ -104,14 +112,36 @@ let admit_tree net algo request =
     | Online_sp.Admitted a -> Ok a.Online_sp.tree
     | Online_sp.Rejected msg -> Error msg)
 
+(* Per-variant telemetry: the algorithm modules count under their own
+   names ("online_cp.…"), but one Online_cp module serves three
+   admission variants; diffing the process-wide counters around the
+   whole run separates them ("admission.Online_CP_noSigma.…"). *)
+let publish_run_counters algo ~dijkstras ~sp_hits ~sp_misses ~admitted =
+  let prefix = "admission." ^ algorithm_to_string algo in
+  Obs.Counter.add (Obs.Counter.make (prefix ^ ".dijkstras")) dijkstras;
+  Obs.Counter.add (Obs.Counter.make (prefix ^ ".sp_hits")) sp_hits;
+  Obs.Counter.add (Obs.Counter.make (prefix ^ ".sp_misses")) sp_misses;
+  Obs.Counter.add (Obs.Counter.make (prefix ^ ".admitted")) admitted
+
 let run ?(reset = true) net algo requests =
   if reset then Sdn.Network.reset net;
+  let dij0 = Obs.Counter.value c_dijkstra_runs in
+  let hits0 = Obs.Counter.value c_sp_hits in
+  let misses0 = Obs.Counter.value c_sp_misses in
   let started = Sys.time () in
   let records = List.map (decide net algo) requests in
   let runtime_s = Sys.time () -. started in
   let admitted =
     List.length (List.filter (fun (r : record) -> r.admitted) records)
   in
+  Obs.Timer.add t_run runtime_s;
+  Obs.Gauge.set g_mean_util (Sdn.Network.mean_link_utilization net);
+  if !Obs.enabled then
+    publish_run_counters algo
+      ~dijkstras:(Obs.Counter.value c_dijkstra_runs - dij0)
+      ~sp_hits:(Obs.Counter.value c_sp_hits - hits0)
+      ~sp_misses:(Obs.Counter.value c_sp_misses - misses0)
+      ~admitted;
   let total = List.length records in
   let total_cost =
     List.fold_left

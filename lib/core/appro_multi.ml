@@ -6,6 +6,28 @@ type result = {
   combinations : int;
 }
 
+module Obs = Nfv_obs.Obs
+
+let c_dijkstra_runs = Obs.Counter.make "dijkstra.runs"
+let c_dijkstra_relax = Obs.Counter.make "dijkstra.relaxations"
+let c_dijkstras = Obs.Counter.make "appro_multi.dijkstras"
+let c_relaxations = Obs.Counter.make "appro_multi.relaxations"
+let c_solved = Obs.Counter.make "appro_multi.solved"
+let c_infeasible = Obs.Counter.make "appro_multi.infeasible"
+let c_admitted = Obs.Counter.make "appro_multi.admitted"
+let c_rejected = Obs.Counter.make "appro_multi.rejected"
+
+(* span + Dijkstra attribution + outcome count around one solve/admit *)
+let observe span ~ok ~err f =
+  Obs.Span.run span @@ fun () ->
+  let runs0 = Obs.Counter.value c_dijkstra_runs in
+  let relax0 = Obs.Counter.value c_dijkstra_relax in
+  let result = f () in
+  Obs.Counter.add c_dijkstras (Obs.Counter.value c_dijkstra_runs - runs0);
+  Obs.Counter.add c_relaxations (Obs.Counter.value c_dijkstra_relax - relax0);
+  Obs.Counter.incr (match result with Ok _ -> ok | Error _ -> err);
+  result
+
 let default_k = 3
 
 let candidates ?(k = default_k) ?edge_weight ?placement_cost ~keep
@@ -41,6 +63,7 @@ let combinations_explored ?k aux =
     (Option.value k ~default:default_k)
 
 let solve_with ?k ~keep ~usable_servers net request =
+  observe "appro_multi.solve" ~ok:c_solved ~err:c_infeasible @@ fun () ->
   if usable_servers = [] then Error "no usable server"
   else
     match candidates ?k ~keep ~usable_servers net request with
@@ -75,6 +98,7 @@ let solve_capacitated ?k net request =
   solve_with ?k ~keep ~usable_servers:usable net request
 
 let admit ?k net request =
+  observe "appro_multi.admit" ~ok:c_admitted ~err:c_rejected @@ fun () ->
   let keep, usable = capacitated_filters net request in
   if usable = [] then Error "no usable server"
   else begin

@@ -1,4 +1,12 @@
 module Sp = Mcgraph.Sp_engine
+module Obs = Nfv_obs.Obs
+
+let c_dijkstra_runs = Obs.Counter.make "dijkstra.runs"
+let c_dijkstra_relax = Obs.Counter.make "dijkstra.relaxations"
+let c_dijkstras = Obs.Counter.make "one_server.dijkstras"
+let c_relaxations = Obs.Counter.make "one_server.relaxations"
+let c_solved = Obs.Counter.make "one_server.solved"
+let c_infeasible = Obs.Counter.make "one_server.infeasible"
 
 type result = {
   tree : Pseudo_tree.t;
@@ -15,7 +23,7 @@ type result = {
    subgraph; keep the cheapest combination. The structure is
    server-oblivious — the weakness Appro_Multi's joint optimisation
    exploits. *)
-let solve net request =
+let solve_impl net request =
   let g = Sdn.Network.graph net in
   let b = request.Sdn.Request.bandwidth in
   let s = request.Sdn.Request.source in
@@ -100,3 +108,15 @@ let solve net request =
           ~routes
       in
       Ok { tree; server = v; cost = Pseudo_tree.cost net tree })
+
+let solve net request =
+  Obs.Span.run "one_server.solve" @@ fun () ->
+  let runs0 = Obs.Counter.value c_dijkstra_runs in
+  let relax0 = Obs.Counter.value c_dijkstra_relax in
+  let result = solve_impl net request in
+  Obs.Counter.add c_dijkstras (Obs.Counter.value c_dijkstra_runs - runs0);
+  Obs.Counter.add c_relaxations (Obs.Counter.value c_dijkstra_relax - relax0);
+  (match result with
+  | Ok _ -> Obs.Counter.incr c_solved
+  | Error _ -> Obs.Counter.incr c_infeasible);
+  result

@@ -1,6 +1,19 @@
 module Paths = Mcgraph.Paths
 module Sp = Mcgraph.Sp_engine
 module Tree = Mcgraph.Tree
+module Obs = Nfv_obs.Obs
+
+(* shared process-wide counters ([Obs.Counter.make] is idempotent per
+   name), diffed around each solve to attribute Dijkstra work here *)
+let c_dijkstra_runs = Obs.Counter.make "dijkstra.runs"
+let c_dijkstra_relax = Obs.Counter.make "dijkstra.relaxations"
+let c_dijkstras = Obs.Counter.make "online_cp.dijkstras"
+let c_relaxations = Obs.Counter.make "online_cp.relaxations"
+let c_admitted = Obs.Counter.make "online_cp.admitted"
+let c_rej_no_server = Obs.Counter.make "online_cp.rejected.no_feasible_server"
+let c_rej_unreachable = Obs.Counter.make "online_cp.rejected.unreachable"
+let c_rej_threshold = Obs.Counter.make "online_cp.rejected.over_threshold"
+let c_rej_unallocatable = Obs.Counter.make "online_cp.rejected.unallocatable"
 
 type params = {
   alpha : float;
@@ -43,7 +56,7 @@ type candidate = {
   cand_score : float;
 }
 
-let admit ?(mode = `Exponential) ?params net request =
+let admit_impl ~mode ~params net request =
   let params =
     match params with Some p -> p | None -> default_params net
   in
@@ -178,3 +191,18 @@ let admit ?(mode = `Exponential) ?params net request =
         try_cands sorted
     end
   end
+
+let admit ?(mode = `Exponential) ?params net request =
+  Obs.Span.run "online_cp.admit" @@ fun () ->
+  let runs0 = Obs.Counter.value c_dijkstra_runs in
+  let relax0 = Obs.Counter.value c_dijkstra_relax in
+  let outcome = admit_impl ~mode ~params net request in
+  Obs.Counter.add c_dijkstras (Obs.Counter.value c_dijkstra_runs - runs0);
+  Obs.Counter.add c_relaxations (Obs.Counter.value c_dijkstra_relax - relax0);
+  (match outcome with
+  | Admitted _ -> Obs.Counter.incr c_admitted
+  | Rejected No_feasible_server -> Obs.Counter.incr c_rej_no_server
+  | Rejected Unreachable -> Obs.Counter.incr c_rej_unreachable
+  | Rejected Over_threshold -> Obs.Counter.incr c_rej_threshold
+  | Rejected Unallocatable -> Obs.Counter.incr c_rej_unallocatable);
+  outcome

@@ -1,5 +1,13 @@
 module Paths = Mcgraph.Paths
 module Sp = Mcgraph.Sp_engine
+module Obs = Nfv_obs.Obs
+
+let c_dijkstra_runs = Obs.Counter.make "dijkstra.runs"
+let c_dijkstra_relax = Obs.Counter.make "dijkstra.relaxations"
+let c_dijkstras = Obs.Counter.make "online_sp.dijkstras"
+let c_relaxations = Obs.Counter.make "online_sp.relaxations"
+let c_admitted = Obs.Counter.make "online_sp.admitted"
+let c_rejected = Obs.Counter.make "online_sp.rejected"
 
 type admitted = {
   tree : Pseudo_tree.t;
@@ -17,7 +25,7 @@ type candidate = {
   cand_hops : int;
 }
 
-let admit net request =
+let admit_impl net request =
   let g = Sdn.Network.graph net in
   let b = request.Sdn.Request.bandwidth in
   let s = request.Sdn.Request.source in
@@ -88,3 +96,15 @@ let admit net request =
       in
       try_cands sorted
   end
+
+let admit net request =
+  Obs.Span.run "online_sp.admit" @@ fun () ->
+  let runs0 = Obs.Counter.value c_dijkstra_runs in
+  let relax0 = Obs.Counter.value c_dijkstra_relax in
+  let outcome = admit_impl net request in
+  Obs.Counter.add c_dijkstras (Obs.Counter.value c_dijkstra_runs - runs0);
+  Obs.Counter.add c_relaxations (Obs.Counter.value c_dijkstra_relax - relax0);
+  (match outcome with
+  | Admitted _ -> Obs.Counter.incr c_admitted
+  | Rejected _ -> Obs.Counter.incr c_rejected);
+  outcome

@@ -110,7 +110,10 @@ let fold_edges g ~init ~f =
 let edge_list g =
   List.rev (fold_edges g ~init:[] ~f:(fun acc e u v -> (e, u, v) :: acc))
 
+let c_csr_rebuilds = Nfv_obs.Obs.Counter.make "graph.csr_rebuilds"
+
 let build_csr g =
+  Nfv_obs.Obs.Counter.incr c_csr_rebuilds;
   let off = Array.make (g.n + 1) 0 in
   for u = 0 to g.n - 1 do
     off.(u + 1) <- off.(u) + List.length g.adj.(u)

@@ -53,19 +53,27 @@ type csr = {
 val csr : t -> csr
 (** The CSR view of the current edge set. Built once and cached;
     [add_edge] invalidates the cache, so hold the returned value only
-    while the graph is not mutated. *)
+    while the graph is not mutated. Rebuilds count under the [Nfv_obs]
+    counter [graph.csr_rebuilds], so a hot loop that accidentally
+    alternates mutation and traversal shows up in [--stats] output. *)
 
 val degree : t -> int -> int
+(** Number of incident edge slots of a node (each parallel edge counts
+    once). *)
 
 val find_edge : t -> int -> int -> int option
 (** Some edge id joining the two nodes, if any (first inserted wins). *)
 
 val mem_edge : t -> int -> int -> bool
+(** Whether at least one edge joins the two nodes. *)
 
 val iter_edges : t -> (int -> int -> int -> unit) -> unit
-(** [iter_edges g f] calls [f edge_id u v] for each edge. *)
+(** [iter_edges g f] calls [f edge_id u v] for each edge, in increasing
+    edge-id order. *)
 
 val fold_edges : t -> init:'a -> f:('a -> int -> int -> int -> 'a) -> 'a
+(** [fold_edges g ~init ~f] folds [f acc edge_id u v] over all edges in
+    increasing edge-id order. *)
 
 val edge_list : t -> (int * int * int) list
 (** All edges as [(id, u, v)], in id order. *)

@@ -5,6 +5,15 @@ type spt = {
   parent : int array;
 }
 
+module Obs = Nfv_obs.Obs
+
+(* process-wide Dijkstra work counters; algorithm layers attribute them
+   to themselves by diffing [Obs.Counter.value] around a solve *)
+let c_runs = Obs.Counter.make "dijkstra.runs"
+let c_pops = Obs.Counter.make "dijkstra.heap_pops"
+let c_scans = Obs.Counter.make "dijkstra.edges_scanned"
+let c_relax = Obs.Counter.make "dijkstra.relaxations"
+
 let dijkstra g ~weight ~source =
   let nn = Graph.n g in
   let c = Graph.csr g in
@@ -14,15 +23,22 @@ let dijkstra g ~weight ~source =
   let parent = Array.make nn (-1) in
   let heap = Heap.create nn in
   let settled = Array.make nn false in
+  (* read the switch once: with stats off the hot loop carries a single
+     predictable branch per event, with stats on we count locally and
+     publish once at the end *)
+  let track = !Obs.enabled in
+  let pops = ref 0 and scans = ref 0 and relax = ref 0 in
   dist.(source) <- 0.0;
   Heap.insert heap ~key:source 0.0;
   let rec drain () =
     match Heap.pop_min heap with
     | None -> ()
     | Some (u, du) ->
+      if track then incr pops;
       settled.(u) <- true;
       for i = off.(u) to off.(u + 1) - 1 do
         let v = nbr.(i) in
+        if track then incr scans;
         if not settled.(v) then begin
           let e = eid.(i) in
           let w = weight e in
@@ -30,6 +46,7 @@ let dijkstra g ~weight ~source =
           if w < infinity then begin
             let d' = du +. w in
             if d' < dist.(v) then begin
+              if track then incr relax;
               dist.(v) <- d';
               parent_edge.(v) <- e;
               parent.(v) <- u;
@@ -41,6 +58,12 @@ let dijkstra g ~weight ~source =
       drain ()
   in
   drain ();
+  if track then begin
+    Obs.Counter.incr c_runs;
+    Obs.Counter.add c_pops !pops;
+    Obs.Counter.add c_scans !scans;
+    Obs.Counter.add c_relax !relax
+  end;
   { source; dist; parent_edge; parent }
 
 let bellman_ford g ~weight ~source =

@@ -1,10 +1,21 @@
 (* Lazy per-source shortest-path engine: Dijkstra trees computed on
-   demand and cached by (source, weight-epoch). See sp_engine.mli.
+   demand and cached by source, all entries pinned to one weight epoch.
+   See sp_engine.mli.
 
-   Storage is two O(V) arrays rather than a hash table: [spt] sits on
-   the hot path of the auxiliary-graph metric (hundreds of thousands of
-   queries per request), and an array read keeps a cache hit as cheap as
-   the eager all-pairs row access it replaces. *)
+   Storage is an O(V) option array rather than a hash table: [spt] sits
+   on the hot path of the auxiliary-graph metric (hundreds of thousands
+   of queries per request), and an array read keeps a cache hit as cheap
+   as the eager all-pairs row access it replaces.
+
+   Epoch handling: every lookup first compares the current epoch against
+   [valid_epoch], the epoch all cached trees were built at. On a
+   mismatch the whole cache is swept immediately — stale trees are O(V)
+   arrays each, and before this sweep existed a request burst could pin
+   one obsolete tree per source for the engine's lifetime. After the
+   sweep the invariant "every [Some] entry is current" holds, so the
+   per-query fast path is a single array read. *)
+
+module Obs = Nfv_obs.Obs
 
 type stats = {
   trees_computed : int;
@@ -17,7 +28,7 @@ type t = {
   weight : int -> float;
   epoch : unit -> int;
   cache : Paths.spt option array;   (* per-source tree, or None *)
-  cache_epoch : int array;          (* epoch the cached tree was built at *)
+  mutable valid_epoch : int;        (* epoch every cached tree was built at *)
   mutable computed : int;
   mutable hits : int;
   mutable stale_drops : int;
@@ -27,6 +38,11 @@ let total_computed = ref 0
 
 let global_trees_computed () = !total_computed
 
+(* process-wide cache behaviour, aggregated over every engine *)
+let c_hits = Obs.Counter.make "sp_engine.cache_hits"
+let c_misses = Obs.Counter.make "sp_engine.cache_misses"
+let c_evictions = Obs.Counter.make "sp_engine.evictions"
+
 let create ?(epoch = fun () -> 0) graph ~weight =
   let n = max (Graph.n graph) 1 in
   {
@@ -34,7 +50,7 @@ let create ?(epoch = fun () -> 0) graph ~weight =
     weight;
     epoch;
     cache = Array.make n None;
-    cache_epoch = Array.make n min_int;
+    valid_epoch = epoch ();
     computed = 0;
     hits = 0;
     stale_drops = 0;
@@ -42,25 +58,43 @@ let create ?(epoch = fun () -> 0) graph ~weight =
 
 let graph t = t.graph
 
-let spt t source =
+let drop_all t =
+  Array.iteri
+    (fun i tree ->
+      if tree <> None then begin
+        t.stale_drops <- t.stale_drops + 1;
+        Obs.Counter.incr c_evictions;
+        t.cache.(i) <- None
+      end)
+    t.cache
+
+(* re-establish the invariant that cached trees match the current epoch;
+   O(V) but only on epoch changes, which already force recomputation *)
+let refresh t =
   let now = t.epoch () in
+  if now <> t.valid_epoch then begin
+    drop_all t;
+    t.valid_epoch <- now
+  end
+
+let spt t source =
+  refresh t;
   match t.cache.(source) with
-  | Some tree when t.cache_epoch.(source) = now ->
+  | Some tree ->
     t.hits <- t.hits + 1;
+    Obs.Counter.incr c_hits;
     tree
-  | prev ->
-    if prev <> None then t.stale_drops <- t.stale_drops + 1;
+  | None ->
+    Obs.Counter.incr c_misses;
     let tree = Paths.dijkstra t.graph ~weight:t.weight ~source in
     t.computed <- t.computed + 1;
     incr total_computed;
     t.cache.(source) <- Some tree;
-    t.cache_epoch.(source) <- now;
     tree
 
 let peek t source =
-  match t.cache.(source) with
-  | Some tree when t.cache_epoch.(source) = t.epoch () -> Some tree
-  | _ -> None
+  refresh t;
+  t.cache.(source)
 
 let dist t u v = (spt t u).Paths.dist.(v)
 
@@ -68,14 +102,7 @@ let path t u v = Paths.path_edges t.graph (spt t u) v
 
 let path_nodes t u v = Paths.path_nodes t.graph (spt t u) v
 
-let invalidate t =
-  Array.iteri
-    (fun i tree -> if tree <> None then begin
-        t.stale_drops <- t.stale_drops + 1;
-        t.cache.(i) <- None;
-        t.cache_epoch.(i) <- min_int
-      end)
-    t.cache
+let invalidate t = drop_all t
 
 let stats t =
   { trees_computed = t.computed; cache_hits = t.hits; invalidations = t.stale_drops }

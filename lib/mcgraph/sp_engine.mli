@@ -5,46 +5,77 @@
     candidate servers, the destinations), so computing all-pairs shortest
     paths eagerly — |V| Dijkstras and O(V²) arrays per request — is
     wasted work. This engine computes one Dijkstra tree per {e queried}
-    source, over the graph's frozen CSR view, and caches it keyed by
-    [(source, weight-epoch)].
+    source, over the graph's frozen CSR view, and caches it in an O(V)
+    array slot.
+
+    {2 Epoch-invalidation contract}
 
     The weight epoch is a version counter supplied at creation (e.g.
-    {!Sdn.Network.weight_epoch}, bumped on every allocate/release).
+    [Sdn.Network.weight_epoch], bumped on every allocate/release/reset).
     When weights are load-dependent — the online algorithms' exponential
     prices read residual capacities — a bumped epoch makes every cached
-    tree stale, and the next query recomputes instead of serving wrong
-    distances. With the default constant epoch the cache never expires,
-    which is correct for pure functions of the edge id.
+    tree stale. The engine re-reads the epoch on {e every} lookup
+    ({!spt}, {!peek}, {!dist}, {!path}, {!path_nodes}); the first lookup
+    that observes a new epoch drops {e all} cached trees at once, so
+    stale O(V) trees are never retained across an epoch change, and
+    subsequent queries recompute against the new prices instead of
+    serving wrong distances. With the default constant epoch the cache
+    never expires, which is correct for weights that are pure functions
+    of the edge id. The [weight] function must be pure between two equal
+    readings of [epoch]; nothing else is assumed of it.
 
-    Determinism: [dist t u v] and [path t u v] always answer from [u]'s
-    tree (never the symmetric [v] tree), so results are bit-identical to
-    the eager {!Paths.all_pairs} rows they replace, including tie-breaks. *)
+    {2 Determinism and tie-breaks}
+
+    [dist t u v] and [path t u v] always answer from [u]'s tree (never
+    the symmetric [v] tree), and Dijkstra relaxes neighbours in the CSR
+    slot order, which equals [Graph.iter_neighbors] order (insertion
+    order). Results are therefore bit-identical to the eager
+    [Paths.all_pairs] rows they replace, including equal-cost
+    tie-breaks. Callers wanting the undirected-symmetry discount use
+    {!peek} explicitly.
+
+    {2 Telemetry}
+
+    Besides the per-engine {!stats}, every engine feeds the process-wide
+    [Nfv_obs] counters [sp_engine.cache_hits], [sp_engine.cache_misses]
+    and [sp_engine.evictions] (gated on [Obs.enabled]); the Dijkstras it
+    triggers count under the [dijkstra.*] counters of {!Paths}. *)
 
 type t
+(** A per-(graph, weight function) engine with its tree cache. *)
 
 type stats = {
-  trees_computed : int;   (** Dijkstra runs performed by this engine *)
-  cache_hits : int;       (** [spt] calls answered from cache *)
-  invalidations : int;    (** cached trees dropped as stale (epoch bump
-                              or explicit {!invalidate}) *)
+  trees_computed : int;   (** Dijkstra runs performed by this engine. *)
+  cache_hits : int;       (** [spt] calls answered from cache. *)
+  invalidations : int;
+      (** Cached trees dropped as stale — by an epoch change observed at
+          lookup time, or by an explicit {!invalidate}. *)
 }
+(** Per-engine cache behaviour, counted unconditionally (not gated on
+    [Nfv_obs.Obs.enabled]) — the unit tests of the caching contract rely
+    on these being always live. *)
 
 val create : ?epoch:(unit -> int) -> Graph.t -> weight:(int -> float) -> t
 (** [create ?epoch g ~weight] prepares an engine; no Dijkstra runs until
     the first query. [weight] is read at tree-computation time, so it may
     consult mutable state as long as [epoch] changes whenever that state
-    does. Default [epoch] is constant [0] (immutable weights). *)
+    does (the epoch-invalidation contract above). Default [epoch] is
+    constant [0] (immutable weights). [epoch] is called once at creation
+    to pin the initial cache validity. *)
 
 val graph : t -> Graph.t
+(** The graph the engine was created over. *)
 
 val spt : t -> int -> Paths.spt
-(** The shortest-path tree rooted at a source, computed on first use and
-    cached while the epoch is unchanged. *)
+(** [spt t s] is the shortest-path tree rooted at source [s], computed
+    on first use and cached while the epoch is unchanged. *)
 
 val peek : t -> int -> Paths.spt option
-(** A cached, current-epoch tree if one exists; never computes. Lets
-    callers exploit distance symmetry ([d(u,v) = d(v,u)] on undirected
-    graphs) without triggering extra Dijkstras. *)
+(** [peek t s] is [s]'s cached, current-epoch tree if one exists; never
+    computes. Lets callers exploit distance symmetry
+    ([d(u,v) = d(v,u)] on undirected graphs) without triggering extra
+    Dijkstras — [Online_CP] answers server↔terminal distances from the
+    terminal's tree this way. *)
 
 val dist : t -> int -> int -> float
 (** [dist t u v] from [u]'s tree; [infinity] when unreachable. *)
@@ -57,10 +88,13 @@ val path_nodes : t -> int -> int -> int list option
 (** Nodes of the same path, starting with [u]. *)
 
 val invalidate : t -> unit
-(** Drop every cached tree regardless of epoch. *)
+(** Drop every cached tree regardless of epoch; each dropped tree counts
+    as an invalidation in {!stats}. *)
 
 val stats : t -> stats
+(** This engine's lifetime cache counters. *)
 
 val global_trees_computed : unit -> int
 (** Process-wide count of Dijkstra trees computed by all engines — an
-    observability hook for benchmarks and admission statistics. *)
+    observability hook for benchmarks and admission statistics that
+    works even with [Nfv_obs.Obs.enabled] off. *)

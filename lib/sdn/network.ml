@@ -1,5 +1,13 @@
 module G = Mcgraph.Graph
 module Rng = Topology.Rng
+module Obs = Nfv_obs.Obs
+
+(* residual-state telemetry, aggregated over every network instance *)
+let c_allocations = Obs.Counter.make "network.allocations"
+let c_alloc_rejections = Obs.Counter.make "network.alloc_rejections"
+let c_releases = Obs.Counter.make "network.releases"
+let c_resets = Obs.Counter.make "network.resets"
+let c_epoch_bumps = Obs.Counter.make "network.epoch_bumps"
 
 type t = {
   topo : Topology.Topo.t;
@@ -214,13 +222,20 @@ let alloc_failure t alloc =
 
 let can_allocate t alloc = alloc_failure t alloc = None
 
+let bump_epoch t =
+  t.epoch <- t.epoch + 1;
+  Obs.Counter.incr c_epoch_bumps
+
 let allocate t alloc =
   match alloc_failure t alloc with
-  | Some msg -> Error msg
+  | Some msg ->
+    Obs.Counter.incr c_alloc_rejections;
+    Error msg
   | None ->
     List.iter (fun (e, amt) -> t.link_res.(e) <- t.link_res.(e) -. amt) alloc.links;
     List.iter (fun (v, amt) -> t.srv_res.(v) <- t.srv_res.(v) -. amt) alloc.nodes;
-    t.epoch <- t.epoch + 1;
+    Obs.Counter.incr c_allocations;
+    bump_epoch t;
     Ok ()
 
 let release t alloc =
@@ -239,12 +254,14 @@ let release t alloc =
     nodes;
   List.iter (fun (e, amt) -> t.link_res.(e) <- min t.link_cap.(e) (t.link_res.(e) +. amt)) links;
   List.iter (fun (v, amt) -> t.srv_res.(v) <- min t.srv_cap.(v) (t.srv_res.(v) +. amt)) nodes;
-  t.epoch <- t.epoch + 1
+  Obs.Counter.incr c_releases;
+  bump_epoch t
 
 let reset t =
   Array.blit t.link_cap 0 t.link_res 0 (Array.length t.link_cap);
   Array.blit t.srv_cap 0 t.srv_res 0 (Array.length t.srv_cap);
-  t.epoch <- t.epoch + 1
+  Obs.Counter.incr c_resets;
+  bump_epoch t
 
 let weight_epoch t = t.epoch
 

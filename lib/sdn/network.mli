@@ -7,6 +7,7 @@
     Mbps (links) and MHz (servers). *)
 
 type t
+(** A capacitated network with mutable residual state. *)
 
 (** Parameter ranges used when attaching resources to a topology. The
     defaults follow §VI-A of the paper: link capacity 1 000–10 000 Mbps,
@@ -21,6 +22,7 @@ type profile = {
 }
 
 val default_profile : profile
+(** The §VI-A ranges quoted on {!type-profile}. *)
 
 val uniform_profile : link_capacity:float -> server_capacity:float -> profile
 (** Degenerate ranges, for deterministic tests. Unit costs are 1. *)
@@ -63,23 +65,51 @@ val make_explicit :
 (** {1 Structure} *)
 
 val topology : t -> Topology.Topo.t
-val graph : t -> Mcgraph.Graph.t
-val n : t -> int
-val m : t -> int
-val servers : t -> int list
-val is_server : t -> int -> bool
-val server_count : t -> int
+(** The underlying named topology this network decorates. *)
 
-(** {1 Capacities, residuals and unit costs} *)
+val graph : t -> Mcgraph.Graph.t
+(** The topology's graph; edge ids index every link array below. *)
+
+val n : t -> int
+(** Number of switches. *)
+
+val m : t -> int
+(** Number of links. *)
+
+val servers : t -> int list
+(** The server-attached switches [V_S], sorted increasing, without
+    duplicates. Algorithms iterate this list in order, so candidate
+    enumeration is deterministic. *)
+
+val is_server : t -> int -> bool
+(** Whether a node carries a server ([false] for out-of-range ids). *)
+
+val server_count : t -> int
+(** [List.length (servers t)]. *)
+
+(** {1 Capacities, residuals and unit costs}
+
+    All per-link accessors raise [Invalid_argument] on an out-of-range
+    edge id; all per-server accessors raise [Invalid_argument] when the
+    node is not in {!servers}. *)
 
 val link_capacity : t -> int -> float
+(** Total bandwidth of a link, Mbps. *)
+
 val link_residual : t -> int -> float
+(** Currently unallocated bandwidth of a link, Mbps. *)
+
 val server_capacity : t -> int -> float
-(** Raises [Invalid_argument] for a non-server node; likewise below. *)
+(** Total computing capacity of a server, MHz. *)
 
 val server_residual : t -> int -> float
+(** Currently unallocated computing capacity of a server, MHz. *)
+
 val link_unit_cost : t -> int -> float
+(** Cost of sending one Mbps across a link (the paper's [c_e]). *)
+
 val server_unit_cost : t -> int -> float
+(** Cost of one MHz of processing at a server (the paper's [c_v]). *)
 
 val link_delay : t -> int -> float
 (** Propagation delay of a link, in milliseconds. *)
@@ -88,9 +118,12 @@ val chain_cost : t -> int -> Vnf.chain -> float
 (** [c_v(SC_k)]: unit cost at server [v] × consolidated chain demand. *)
 
 val link_admits : t -> int -> float -> bool
-(** Whether a link's residual bandwidth covers an amount. *)
+(** Whether a link's residual bandwidth covers an amount (with a small
+    tolerance for float drift). *)
 
 val server_admits : t -> int -> float -> bool
+(** Whether a server's residual computing capacity covers an amount
+    (same tolerance). *)
 
 (** {1 Atomic allocation} *)
 
@@ -98,40 +131,54 @@ type allocation = {
   links : (int * float) list;     (** (edge id, Mbps); repeats accumulate *)
   nodes : (int * float) list;     (** (server node, MHz); repeats accumulate *)
 }
+(** A multi-resource demand. Repeated ids are summed before feasibility
+    is checked, so a pseudo-multicast tree that traverses a link twice
+    is charged twice. *)
 
 val empty_allocation : allocation
+(** [{ links = []; nodes = [] }] — always allocatable. *)
 
 val can_allocate : t -> allocation -> bool
+(** Whether {!allocate} would succeed, without committing anything. *)
 
 val allocate : t -> allocation -> (unit, string) result
-(** Atomically commit, or change nothing and explain the failure. *)
+(** Atomically commit, or change nothing and explain the failure.
+    Success bumps {!weight_epoch} and counts under the [Nfv_obs] counter
+    [network.allocations]; failure counts under
+    [network.alloc_rejections] and leaves the epoch unchanged. *)
 
 val release : t -> allocation -> unit
-(** Return previously allocated resources. Raises [Invalid_argument] if
-    a release would exceed a capacity (double free). *)
+(** Return previously allocated resources; bumps {!weight_epoch}.
+    Raises [Invalid_argument] if a release would exceed a capacity
+    (double free). *)
 
 val reset : t -> unit
-(** Restore all residuals to full capacity. *)
+(** Restore all residuals to full capacity; bumps {!weight_epoch}. *)
 
 val weight_epoch : t -> int
 (** Version counter of the residual state: bumped by every successful
-    {!allocate}, every {!release} and every {!reset}. Weight functions
-    that read residuals (capacity pruning, the online algorithms'
-    exponential prices) are pure between two equal readings of this
-    counter, which is exactly the invariant {!Mcgraph.Sp_engine} needs
-    to cache shortest-path trees across queries and invalidate them
-    when load changes. *)
+    {!allocate}, every {!release} and every {!reset} (telemetry:
+    [network.epoch_bumps]). Weight functions that read residuals
+    (capacity pruning, the online algorithms' exponential prices) are
+    pure between two equal readings of this counter, which is exactly
+    the invariant [Mcgraph.Sp_engine] needs to cache shortest-path trees
+    across queries and drop them when load changes. *)
 
 (** {1 Metrics} *)
 
 val link_utilization : t -> int -> float
-(** In [0, 1]. *)
+(** Allocated fraction of one link's bandwidth, in [0, 1]. *)
 
 val mean_link_utilization : t -> float
+(** Mean of {!link_utilization} over all links ([0.] on edgeless
+    networks). *)
+
 val max_link_utilization : t -> float
+(** Maximum of {!link_utilization} over all links. *)
 
 val jain_fairness : t -> float
 (** Jain index of link utilisations; 1 = perfectly balanced. Returns 1
     when the network is idle. *)
 
 val pp : Format.formatter -> t -> unit
+(** One-line summary ["network(<name>: n=…, m=…, servers=…)"]. *)

@@ -121,6 +121,73 @@ let test_epoch_stability () =
   Alcotest.(check int) "one tree" 1 st.Sp.trees_computed;
   Alcotest.(check int) "no invalidations" 0 st.Sp.invalidations
 
+(* --- telemetry counters ------------------------------------------------ *)
+
+module Obs = Nfv_obs.Obs
+
+(* All engines share the process-global "sp_engine.*" counters, so these
+   tests reset them, enable recording for their own queries only, and
+   diff. *)
+let with_obs f =
+  Obs.reset_all ();
+  Obs.enabled := true;
+  Fun.protect ~finally:(fun () -> Obs.enabled := false) f
+
+let c_hits = Obs.Counter.make "sp_engine.cache_hits"
+let c_misses = Obs.Counter.make "sp_engine.cache_misses"
+let c_evictions = Obs.Counter.make "sp_engine.evictions"
+
+let test_obs_hit_miss_counters () =
+  with_obs @@ fun () ->
+  let g, weight = waxman_with_pruning 11 in
+  let eng = Sp.create g ~weight in
+  let n = G.n g in
+  ignore (Sp.dist eng 0 (n - 1));
+  Alcotest.(check int) "first query is a miss" 1 (Obs.Counter.value c_misses);
+  Alcotest.(check int) "no hit yet" 0 (Obs.Counter.value c_hits);
+  ignore (Sp.dist eng 0 1);
+  ignore (Sp.path eng 0 (n - 1));
+  Alcotest.(check int) "repeated same-source queries hit" 2
+    (Obs.Counter.value c_hits);
+  Alcotest.(check int) "still one miss" 1 (Obs.Counter.value c_misses)
+
+let test_obs_epoch_bump_is_miss () =
+  with_obs @@ fun () ->
+  let g, weight = waxman_with_pruning 12 in
+  let epoch = ref 0 in
+  let eng = Sp.create g ~weight ~epoch:(fun () -> !epoch) in
+  ignore (Sp.dist eng 0 1);
+  ignore (Sp.dist eng 0 1);
+  Alcotest.(check int) "warm cache" 1 (Obs.Counter.value c_hits);
+  incr epoch;
+  ignore (Sp.dist eng 0 1);
+  Alcotest.(check int) "epoch bump forces a miss" 2
+    (Obs.Counter.value c_misses);
+  Alcotest.(check int) "no extra hit" 1 (Obs.Counter.value c_hits)
+
+(* The fix this PR verifies: an epoch bump must drop *every* cached
+   tree on the next lookup, not only the one being queried — otherwise
+   trees for other sources linger as dead weight forever. *)
+let test_obs_stale_trees_swept () =
+  with_obs @@ fun () ->
+  let g, weight = waxman_with_pruning 13 in
+  let n = G.n g in
+  let epoch = ref 0 in
+  let eng = Sp.create g ~weight ~epoch:(fun () -> !epoch) in
+  ignore (Sp.dist eng 0 1);
+  ignore (Sp.dist eng (n - 1) 1);
+  incr epoch;
+  (* querying source 0 must sweep the stale tree of source n-1 too *)
+  ignore (Sp.dist eng 0 1);
+  let st = Sp.stats eng in
+  Alcotest.(check int) "both stale trees dropped" 2 st.Sp.invalidations;
+  Alcotest.(check int) "evictions counter agrees" 2
+    (Obs.Counter.value c_evictions);
+  (* and the swept source recomputes rather than serving stale data *)
+  ignore (Sp.dist eng (n - 1) 1);
+  Alcotest.(check int) "swept source is a fresh miss" 4
+    (Obs.Counter.value c_misses)
+
 (* --- CSR structural sanity --------------------------------------------- *)
 
 let test_csr_matches_adjacency () =
@@ -166,6 +233,15 @@ let () =
             test_epoch_invalidation;
           Alcotest.test_case "stable epoch hits cache" `Quick
             test_epoch_stability;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "hit/miss counters" `Quick
+            test_obs_hit_miss_counters;
+          Alcotest.test_case "epoch bump is a miss" `Quick
+            test_obs_epoch_bump_is_miss;
+          Alcotest.test_case "stale trees swept" `Quick
+            test_obs_stale_trees_swept;
         ] );
       ( "csr",
         [
