@@ -9,6 +9,8 @@ let requests = ref None
 let micro = ref false
 let csv_dir = ref None
 let stats = ref false
+let jobs = ref 0
+let fake_clock = ref false
 
 let specs =
   [
@@ -26,10 +28,19 @@ let specs =
     ( "--stats",
       Arg.Set stats,
       " record Nfv_obs telemetry and dump the table to stderr on exit" );
+    ( "--jobs",
+      Arg.Set_int jobs,
+      "N  worker domains for figure data points (0 = auto, 1 = sequential; \
+       default auto). Outputs are byte-identical across settings." );
+    ( "--fake-clock",
+      Arg.Set fake_clock,
+      " replace the CPU clock with a deterministic per-domain tick counter \
+       (makes timing columns reproducible; see EXPERIMENTS.md)" );
   ]
 
 let usage =
-  "main.exe [--figure FIG] [--seed N] [--requests N] [--micro] [--csv DIR] [--stats]"
+  "main.exe [--figure FIG] [--seed N] [--requests N] [--jobs N] [--fake-clock] \
+   [--micro] [--csv DIR] [--stats]"
 
 let run_figure name =
   let seed = !seed in
@@ -40,7 +51,7 @@ let run_figure name =
     | "fig7" -> Experiments.Fig7.run ~seed ?requests:!requests ()
     | "fig8" -> Experiments.Fig8.run ~seed ?requests:!requests ()
     | "fig9" -> Experiments.Fig9.run ~seed ?requests:!requests ()
-    | "ablation" -> Experiments.Ablation.run ~seed ()
+    | "ablation" -> Experiments.Ablation.run ~seed ?requests:!requests ()
     | "dynamic" -> Experiments.Dynamic_load.run ~seed ?arrivals:!requests ()
     | "batch" -> Experiments.Batch_order.run ~seed ()
     | "delay" -> Experiments.Delay_exp.run ~seed ?requests:!requests ()
@@ -136,7 +147,7 @@ let micro_paths_benchmarks () =
   run_micro_suite (Test.make_grouped ~name:"paths" tests)
 
 let write_micro_csv ~dir rows =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Experiments.Exp_common.ensure_dir dir;
   let path = Filename.concat dir "micro_paths.csv" in
   let oc = open_out path in
   output_string oc "benchmark,ns_per_run\n";
@@ -184,7 +195,7 @@ let micro_benchmarks () =
 (* snapshot of every Nfv_obs instrument, same directory as the figure
    CSVs; rows are kind-tagged so one file carries all instrument kinds *)
 let write_obs_csv ~dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Experiments.Exp_common.ensure_dir dir;
   let path = Filename.concat dir "micro_obs.csv" in
   let oc = open_out path in
   output_string oc (Nfv_obs.Obs.Export.(to_csv (snapshot ())));
@@ -193,6 +204,8 @@ let write_obs_csv ~dir =
 
 let () =
   Arg.parse specs (fun s -> figures := [ String.lowercase_ascii s ]) usage;
+  Experiments.Pool.set_jobs !jobs;
+  if !fake_clock then Experiments.Exp_common.install_fake_clock ();
   if !stats then Nfv_obs.Obs.enabled := true;
   let names =
     match !figures with

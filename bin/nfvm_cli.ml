@@ -24,6 +24,14 @@ let k_arg =
   let doc = "Maximum number of servers per service chain (K)." in
   Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains used to compute figure data points in parallel \
+     (0 = pick automatically from the core count, 1 = sequential). \
+     Tables and CSVs are byte-identical for every setting."
+  in
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let stats_arg =
   let doc =
     "Record telemetry (cache hit/miss counters, per-algorithm Dijkstra and \
@@ -68,11 +76,12 @@ let make_network rng spec =
 let run_figures figs = Experiments.Exp_common.render_all Format.std_formatter figs
 
 let figure_cmd name doc run =
-  let action seed requests stats =
+  let action seed requests jobs stats =
+    Experiments.Pool.set_jobs jobs;
     with_stats stats (fun () -> run_figures (run ~seed ?requests ()))
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const action $ seed_arg $ requests_arg $ stats_arg)
+    Term.(const action $ seed_arg $ requests_arg $ jobs_arg $ stats_arg)
 
 let fig5_cmd =
   figure_cmd "fig5" "Fig. 5: Appro_Multi vs Alg_One_Server on random networks"
@@ -96,49 +105,58 @@ let fig9_cmd =
 
 let ablation_cmd =
   let doc = "Ablations: cost model (A1) and K sweep (A2)." in
-  let action seed stats =
-    with_stats stats (fun () -> run_figures (Experiments.Ablation.run ~seed ()))
+  let action seed requests jobs stats =
+    Experiments.Pool.set_jobs jobs;
+    with_stats stats (fun () ->
+        run_figures (Experiments.Ablation.run ~seed ?requests ()))
   in
-  Cmd.v (Cmd.info "ablation" ~doc) Term.(const action $ seed_arg $ stats_arg)
+  Cmd.v (Cmd.info "ablation" ~doc)
+    Term.(const action $ seed_arg $ requests_arg $ jobs_arg $ stats_arg)
 
 let dynamic_cmd =
   let doc = "Extension: acceptance under request departures vs offered load." in
-  let action seed requests stats =
+  let action seed requests jobs stats =
+    Experiments.Pool.set_jobs jobs;
     with_stats stats (fun () ->
         run_figures (Experiments.Dynamic_load.run ~seed ?arrivals:requests ()))
   in
   Cmd.v (Cmd.info "dynamic" ~doc)
-    Term.(const action $ seed_arg $ requests_arg $ stats_arg)
+    Term.(const action $ seed_arg $ requests_arg $ jobs_arg $ stats_arg)
 
 let batch_cmd =
   let doc = "Extension: offline batch admission order comparison." in
-  let action seed stats =
+  let action seed jobs stats =
+    Experiments.Pool.set_jobs jobs;
     with_stats stats (fun () ->
         run_figures (Experiments.Batch_order.run ~seed ()))
   in
-  Cmd.v (Cmd.info "batch" ~doc) Term.(const action $ seed_arg $ stats_arg)
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(const action $ seed_arg $ jobs_arg $ stats_arg)
 
 let delay_cmd =
   let doc = "Extension: delay-bounded admission vs deadline tightness." in
-  let action seed requests stats =
+  let action seed requests jobs stats =
+    Experiments.Pool.set_jobs jobs;
     with_stats stats (fun () ->
         run_figures (Experiments.Delay_exp.run ~seed ?requests ()))
   in
   Cmd.v (Cmd.info "delay" ~doc)
-    Term.(const action $ seed_arg $ requests_arg $ stats_arg)
+    Term.(const action $ seed_arg $ requests_arg $ jobs_arg $ stats_arg)
 
 let tables_cmd =
   let doc = "Extension: per-switch forwarding-table budgets." in
-  let action seed requests stats =
+  let action seed requests jobs stats =
+    Experiments.Pool.set_jobs jobs;
     with_stats stats (fun () ->
         run_figures (Experiments.Table_exp.run ~seed ?requests ()))
   in
   Cmd.v (Cmd.info "tables" ~doc)
-    Term.(const action $ seed_arg $ requests_arg $ stats_arg)
+    Term.(const action $ seed_arg $ requests_arg $ jobs_arg $ stats_arg)
 
 let all_cmd =
   let doc = "Every figure and ablation (the full reproduction run)." in
-  let action seed stats =
+  let action seed jobs stats =
+    Experiments.Pool.set_jobs jobs;
     with_stats stats (fun () ->
         run_figures (Experiments.Fig5.run ~seed ());
         run_figures (Experiments.Fig6.run ~seed ());
@@ -148,7 +166,8 @@ let all_cmd =
         run_figures (Experiments.Ablation.run ~seed ());
         run_figures (Experiments.Dynamic_load.run ~seed ()))
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const action $ seed_arg $ stats_arg)
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(const action $ seed_arg $ jobs_arg $ stats_arg)
 
 (* ---------- solve one request ---------- *)
 

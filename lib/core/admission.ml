@@ -128,9 +128,11 @@ let run ?(reset = true) net algo requests =
   let dij0 = Obs.Counter.value c_dijkstra_runs in
   let hits0 = Obs.Counter.value c_sp_hits in
   let misses0 = Obs.Counter.value c_sp_misses in
-  let started = Sys.time () in
+  (* [Obs.clock] (default [Sys.time]) rather than [Sys.time] directly,
+     so the determinism tests can substitute a per-domain fake clock *)
+  let started = !Obs.clock () in
   let records = List.map (decide net algo) requests in
-  let runtime_s = Sys.time () -. started in
+  let runtime_s = !Obs.clock () -. started in
   let admitted =
     List.length (List.filter (fun (r : record) -> r.admitted) records)
   in

@@ -1,25 +1,37 @@
 module Adm = Nfv_multicast.Admission
 module A = Nfv_multicast.Appro_multi
 
+(* A1 runs four algorithms over the same arrival sequence. Each
+   algorithm is a pool point of its own (they are independent full-length
+   admission runs), so every point rebuilds the identical network and
+   sequence from one shared seed instead of the per-point rng the pool
+   hands it. *)
 let cost_model ?(seed = 1) ?(requests = 2000) ?(n = 100) () =
-  let rng = Topology.Rng.create seed in
-  let topo = Topology.Waxman.generate ~alpha:0.2 ~beta:0.25 rng ~n in
-  let net = Sdn.Network.make_random_servers ~fraction:0.05 ~rng topo in
-  let reqs = Workload.Gen.sequence rng net ~count:requests in
-  let checkpoints =
-    List.init (requests / 200) (fun i -> (i + 1) * 200)
+  let algos =
+    [ Adm.Online_cp; Adm.Online_cp_no_threshold; Adm.Online_linear; Adm.Sp ]
   in
+  let shared = Pool.point_seed ~figure:"ablA1" ~index:0 ~seed in
+  let algos_a = Array.of_list algos in
+  let stats =
+    Pool.map ~figure:"ablA1" ~seed (Array.length algos_a) (fun ~rng:_ i ->
+        let rng = Topology.Rng.create shared in
+        let topo = Topology.Waxman.generate ~alpha:0.2 ~beta:0.25 rng ~n in
+        let net = Sdn.Network.make_random_servers ~fraction:0.05 ~rng topo in
+        let reqs = Workload.Gen.sequence rng net ~count:requests in
+        Adm.run net algos_a.(i) reqs)
+  in
+  let step = max 1 (requests / 10) in
+  let checkpoints = List.init (requests / step) (fun i -> (i + 1) * step) in
   let curve stats =
     List.map
       (fun p -> (float_of_int p, float_of_int (Adm.admitted_after stats p)))
       checkpoints
   in
   let series =
-    List.map
-      (fun algo ->
-        let stats = Adm.run net algo reqs in
+    List.map2
+      (fun algo stats ->
         { Exp_common.label = Adm.algorithm_to_string algo; points = curve stats })
-      [ Adm.Online_cp; Adm.Online_cp_no_threshold; Adm.Online_linear; Adm.Sp ]
+      algos stats
   in
   {
     Exp_common.id = "ablA1";
@@ -35,44 +47,59 @@ let cost_model ?(seed = 1) ?(requests = 2000) ?(n = 100) () =
       ];
   }
 
+(* A2 compares K values at each network size, so the K runs at one size
+   must share that size's network and requests: the point seed is
+   derived from the size index alone. *)
 let k_sweep ?(seed = 1) ?(requests = 20) ?(sizes = [ 50; 100; 150 ]) () =
   let ks = [ 1; 2; 3 ] in
-  let cost_series = ref [] and time_series = ref [] in
-  List.iter
-    (fun k ->
-      let costs = ref [] and times = ref [] in
-      List.iter
-        (fun n ->
-          let rng = Topology.Rng.create (seed + n) in
-          let net = Exp_common.network rng ~n in
-          let spec = { Workload.Gen.default_spec with dmax_ratio = Some 0.2 } in
-          let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
-          let cs = ref [] and ts = ref [] in
-          List.iter
-            (fun r ->
-              let res, t = Exp_common.time_of (fun () -> A.solve ~k net r) in
-              match res with
-              | Ok res ->
-                cs := res.A.cost :: !cs;
-                ts := t :: !ts
-              | Error _ -> ())
-            reqs;
-          costs := (float_of_int n, Exp_common.mean !cs) :: !costs;
-          times := (float_of_int n, 1000.0 *. Exp_common.mean !ts) :: !times)
-        sizes;
-      let label = Printf.sprintf "K=%d" k in
-      cost_series :=
-        { Exp_common.label; points = List.rev !costs } :: !cost_series;
-      time_series :=
-        { Exp_common.label; points = List.rev !times } :: !time_series)
-    ks;
+  let sizes_a = Array.of_list sizes in
+  let per_k = Array.length sizes_a in
+  let params =
+    Array.of_list
+      (List.concat_map (fun k -> List.map (fun n -> (k, n)) sizes) ks)
+  in
+  let points =
+    Pool.map ~figure:"ablA2" ~seed (Array.length params) (fun ~rng:_ i ->
+        let k, n = params.(i) in
+        let rng =
+          Topology.Rng.create
+            (Pool.point_seed ~figure:"ablA2" ~index:(i mod per_k) ~seed)
+        in
+        let net = Exp_common.network rng ~n in
+        let spec = { Workload.Gen.default_spec with dmax_ratio = Some 0.2 } in
+        let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
+        let cs = ref [] and ts = ref [] in
+        List.iter
+          (fun r ->
+            let res, t = Exp_common.time_of (fun () -> A.solve ~k net r) in
+            match res with
+            | Ok res ->
+              cs := res.A.cost :: !cs;
+              ts := t :: !ts
+            | Error _ -> ())
+          reqs;
+        (Exp_common.mean !cs, 1000.0 *. Exp_common.mean !ts))
+  in
+  let points = Array.of_list points in
+  let series f =
+    List.mapi
+      (fun ki k ->
+        {
+          Exp_common.label = Printf.sprintf "K=%d" k;
+          points =
+            List.mapi
+              (fun si n -> (float_of_int n, f points.((ki * per_k) + si)))
+              sizes;
+        })
+      ks
+  in
   [
     {
       Exp_common.id = "ablA2cost";
       title = "K ablation: Appro_Multi cost vs network size";
       xlabel = "|V|";
       ylabel = "mean cost";
-      series = List.rev !cost_series;
+      series = series fst;
       notes = [ Printf.sprintf "Dmax/|V| = 0.2, %d requests per point" requests ];
     };
     {
@@ -80,7 +107,7 @@ let k_sweep ?(seed = 1) ?(requests = 20) ?(sizes = [ 50; 100; 150 ]) () =
       title = "K ablation: Appro_Multi running time vs network size";
       xlabel = "|V|";
       ylabel = "ms per request";
-      series = List.rev !time_series;
+      series = series snd;
       notes = [ Printf.sprintf "Dmax/|V| = 0.2, %d requests per point" requests ];
     };
   ]
@@ -153,47 +180,51 @@ let two_cluster ?(seed = 1) ?(arm = 4) () =
   }
 
 (* joint optimisation (Appro_Multi) vs tree-first placement (Inline, the
-   paper's Fig. 3 derivation) vs the §VI-A baseline *)
+   paper's Fig. 3 derivation) vs the §VI-A baseline; the three solvers
+   compare per request, so they stay inside the per-size point *)
 let placement_strategies ?(seed = 1) ?(requests = 40) ?(sizes = [ 50; 100; 150 ]) () =
   let labels =
     [ "Appro_Multi (joint)"; "Inline (tree-first)"; "Alg_One_Server" ]
   in
-  let sums = Hashtbl.create 4 in
-  List.iter (fun l -> Hashtbl.replace sums l []) labels;
-  List.iter
-    (fun n ->
-      let rng = Topology.Rng.create (seed + n) in
-      let net = Exp_common.network rng ~n in
-      let spec = { Workload.Gen.default_spec with dmax_ratio = Some 0.15 } in
-      let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
-      let totals = [| []; []; [] |] in
-      List.iter
-        (fun r ->
-          match
-            ( A.solve ~k:2 net r,
-              Nfv_multicast.Inline_tree.solve ~k:2 net r,
-              Nfv_multicast.One_server.solve net r )
-          with
-          | Ok a, Ok i, Ok o ->
-            totals.(0) <- a.A.cost :: totals.(0);
-            totals.(1) <- i.Nfv_multicast.Inline_tree.cost :: totals.(1);
-            totals.(2) <- o.Nfv_multicast.One_server.cost :: totals.(2)
-          | _ -> ())
-        reqs;
-      List.iteri
-        (fun i l ->
-          Hashtbl.replace sums l
-            ((float_of_int n, Exp_common.mean totals.(i)) :: Hashtbl.find sums l))
-        labels)
-    sizes;
+  let sizes_a = Array.of_list sizes in
+  let points =
+    Pool.map ~figure:"ablA3" ~seed (Array.length sizes_a) (fun ~rng i ->
+        let n = sizes_a.(i) in
+        let net = Exp_common.network rng ~n in
+        let spec = { Workload.Gen.default_spec with dmax_ratio = Some 0.15 } in
+        let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
+        let totals = [| []; []; [] |] in
+        List.iter
+          (fun r ->
+            match
+              ( A.solve ~k:2 net r,
+                Nfv_multicast.Inline_tree.solve ~k:2 net r,
+                Nfv_multicast.One_server.solve net r )
+            with
+            | Ok a, Ok i, Ok o ->
+              totals.(0) <- a.A.cost :: totals.(0);
+              totals.(1) <- i.Nfv_multicast.Inline_tree.cost :: totals.(1);
+              totals.(2) <- o.Nfv_multicast.One_server.cost :: totals.(2)
+            | _ -> ())
+          reqs;
+        Array.map Exp_common.mean totals)
+  in
+  let points = Array.of_list points in
   {
     Exp_common.id = "ablA3";
     title = "placement strategy: joint vs tree-first vs baseline";
     xlabel = "|V|";
     ylabel = "mean cost";
     series =
-      List.map
-        (fun l -> { Exp_common.label = l; points = List.rev (Hashtbl.find sums l) })
+      List.mapi
+        (fun li l ->
+          {
+            Exp_common.label = l;
+            points =
+              List.mapi
+                (fun si n -> (float_of_int n, points.(si).(li)))
+                sizes;
+          })
         labels;
     notes =
       [
@@ -202,18 +233,23 @@ let placement_strategies ?(seed = 1) ?(requests = 40) ?(sizes = [ 50; 100; 150 ]
   }
 
 (* the K > 1 online variant (future-work direction): admitted requests
-   vs K under sustained load *)
+   vs K under sustained load. The four runs (K ∈ {1,2,3} and the SP
+   reference) are independent, so each is a pool point that rebuilds
+   the shared network and sequence from one seed. *)
 let online_k ?(seed = 1) ?(requests = 800) ?(n = 100) () =
-  let rng = Topology.Rng.create seed in
-  let net = Exp_common.network rng ~n in
-  let reqs = Workload.Gen.sequence rng net ~count:requests in
-  let points =
-    List.map
-      (fun k ->
-        (float_of_int k, float_of_int (Nfv_multicast.Online_multi.run ~k net reqs)))
-      [ 1; 2; 3 ]
+  let tasks = [| `K 1; `K 2; `K 3; `Sp |] in
+  let shared = Pool.point_seed ~figure:"ablA4" ~index:0 ~seed in
+  let admitted =
+    Pool.map ~figure:"ablA4" ~seed (Array.length tasks) (fun ~rng:_ i ->
+        let rng = Topology.Rng.create shared in
+        let net = Exp_common.network rng ~n in
+        let reqs = Workload.Gen.sequence rng net ~count:requests in
+        match tasks.(i) with
+        | `K k -> Nfv_multicast.Online_multi.run ~k net reqs
+        | `Sp -> (Adm.run net Adm.Sp reqs).Adm.admitted)
   in
-  let sp = Adm.run net Adm.Sp reqs in
+  let admitted = Array.of_list admitted in
+  let ks = [ 1; 2; 3 ] in
   {
     Exp_common.id = "ablA4";
     title = "online multi-server placement: admitted vs K";
@@ -221,10 +257,19 @@ let online_k ?(seed = 1) ?(requests = 800) ?(n = 100) () =
     ylabel = "admitted";
     series =
       [
-        { Exp_common.label = "Online_Multi"; points };
+        {
+          Exp_common.label = "Online_Multi";
+          points =
+            List.mapi
+              (fun i k -> (float_of_int k, float_of_int admitted.(i)))
+              ks;
+        };
         {
           Exp_common.label = "SP";
-          points = List.map (fun k -> (float_of_int k, float_of_int sp.Adm.admitted)) [ 1; 2; 3 ];
+          points =
+            List.map
+              (fun k -> (float_of_int k, float_of_int admitted.(3)))
+              ks;
         };
       ];
     notes =
@@ -236,6 +281,10 @@ let online_k ?(seed = 1) ?(requests = 800) ?(n = 100) () =
       ];
   }
 
-let run ?(seed = 1) () =
-  (cost_model ~seed () :: k_sweep ~seed ())
-  @ [ two_cluster ~seed (); placement_strategies ~seed (); online_k ~seed () ]
+let run ?(seed = 1) ?requests () =
+  (cost_model ~seed ?requests () :: k_sweep ~seed ?requests ())
+  @ [
+      two_cluster ~seed ();
+      placement_strategies ~seed ?requests ();
+      online_k ~seed ?requests ();
+    ]

@@ -29,5 +29,7 @@ val online_k : ?seed:int -> ?requests:int -> ?n:int -> unit -> Exp_common.figure
 (** Admissions of the exponential-price online variant for K ∈ {1,2,3}
     against SP — the K > 1 online setting the paper leaves open. *)
 
-val run : ?seed:int -> unit -> Exp_common.figure list
-(** All ablations with defaults. *)
+val run : ?seed:int -> ?requests:int -> unit -> Exp_common.figure list
+(** All ablations. When [requests] is given it overrides every
+    sub-experiment's own default request count (used by the fast test
+    configurations); otherwise each keeps its default. *)

@@ -2,22 +2,19 @@ module B = Nfv_multicast.Batch
 
 let orders = B.[ Arrival; Smallest_first; Largest_first; Cheapest_first ]
 
+(* One pool point = one batch size; the ordering policies pack the same
+   batch, so they run together inside the point. *)
+
 let run ?(seed = 1) ?(n = 80) ?(sizes = [ 100; 200; 400; 800 ]) () =
-  let admitted = Hashtbl.create 4 in
-  List.iter (fun o -> Hashtbl.replace admitted o []) orders;
-  List.iter
-    (fun batch ->
-      let rng = Topology.Rng.create seed in
-      let net = Exp_common.network rng ~n in
-      let reqs = Workload.Gen.sequence rng net ~count:batch in
-      List.iter
-        (fun o ->
-          let r = B.plan ~k:2 net reqs o in
-          Hashtbl.replace admitted o
-            ((float_of_int batch, float_of_int r.B.admitted)
-            :: Hashtbl.find admitted o))
-        orders)
-    sizes;
+  let sizes_a = Array.of_list sizes in
+  let points =
+    Pool.map ~figure:"batch" ~seed (Array.length sizes_a) (fun ~rng i ->
+        let batch = sizes_a.(i) in
+        let net = Exp_common.network rng ~n in
+        let reqs = Workload.Gen.sequence rng net ~count:batch in
+        List.map (fun o -> (B.plan ~k:2 net reqs o).B.admitted) orders)
+  in
+  let points = Array.of_list points in
   [
     {
       Exp_common.id = "batchA";
@@ -25,11 +22,16 @@ let run ?(seed = 1) ?(n = 80) ?(sizes = [ 100; 200; 400; 800 ]) () =
       xlabel = "batch size";
       ylabel = "admitted";
       series =
-        List.map
-          (fun o ->
+        List.mapi
+          (fun oi o ->
             {
               Exp_common.label = B.order_to_string o;
-              points = List.rev (Hashtbl.find admitted o);
+              points =
+                List.mapi
+                  (fun si batch ->
+                    (float_of_int batch,
+                     float_of_int (List.nth points.(si) oi)))
+                  sizes;
             })
           orders;
       notes =

@@ -4,31 +4,30 @@ module Delay = Nfv_multicast.Delay
 let algos = [ Adm.Online_cp_no_threshold; Adm.Sp ]
 let deadlines = [ 6.0; 10.0; 15.0; 25.0; 50.0 ]
 
+(* One pool point = one deadline bound; both algorithms admit the same
+   request sequence (network reset in between), so they stay inside the
+   point. *)
+
 let run ?(seed = 1) ?(n = 100) ?(requests = 400) () =
-  let acc = Hashtbl.create 4 in
-  List.iter (fun a -> Hashtbl.replace acc a []) algos;
-  List.iter
-    (fun bound ->
-      let rng = Topology.Rng.create seed in
-      let net = Exp_common.network rng ~n in
-      let spec =
-        { Workload.Gen.default_spec with deadline = Some (bound, bound) }
-      in
-      let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
-      List.iter
-        (fun algo ->
-          Sdn.Network.reset net;
-          let admitted =
+  let deadlines_a = Array.of_list deadlines in
+  let points =
+    Pool.map ~figure:"delay" ~seed (Array.length deadlines_a) (fun ~rng i ->
+        let bound = deadlines_a.(i) in
+        let net = Exp_common.network rng ~n in
+        let spec =
+          { Workload.Gen.default_spec with deadline = Some (bound, bound) }
+        in
+        let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
+        List.map
+          (fun algo ->
+            Sdn.Network.reset net;
             List.fold_left
               (fun k r ->
                 match Delay.admit net algo r with Ok _ -> k + 1 | Error _ -> k)
-              0 reqs
-          in
-          Hashtbl.replace acc algo
-            ((bound, float_of_int admitted /. float_of_int requests)
-            :: Hashtbl.find acc algo))
-        algos)
-    deadlines;
+              0 reqs)
+          algos)
+  in
+  let points = Array.of_list points in
   [
     {
       Exp_common.id = "delayA";
@@ -36,11 +35,17 @@ let run ?(seed = 1) ?(n = 100) ?(requests = 400) () =
       xlabel = "deadline (ms)";
       ylabel = "acceptance ratio";
       series =
-        List.map
-          (fun a ->
+        List.mapi
+          (fun ai a ->
             {
               Exp_common.label = Adm.algorithm_to_string a;
-              points = List.rev (Hashtbl.find acc a);
+              points =
+                List.mapi
+                  (fun di bound ->
+                    ( bound,
+                      float_of_int (List.nth points.(di) ai)
+                      /. float_of_int requests ))
+                  deadlines;
             })
           algos;
       notes =

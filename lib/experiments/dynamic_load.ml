@@ -4,37 +4,32 @@ module Dyn = Nfv_multicast.Dynamic
 let algos = [ Adm.Online_cp; Adm.Online_cp_no_threshold; Adm.Sp ]
 let offered_loads = [ 25.0; 50.0; 100.0; 200.0; 400.0 ]
 
+(* One pool point = one offered load; the algorithms compare on that
+   load's trace, so they run together inside the point. *)
+
 let run ?(seed = 1) ?(n = 100) ?(arrivals = 2000) () =
-  let acceptance = Hashtbl.create 4 and utilization = Hashtbl.create 4 in
-  List.iter
-    (fun a ->
-      Hashtbl.replace acceptance a [];
-      Hashtbl.replace utilization a [])
-    algos;
-  List.iter
-    (fun load ->
-      let rng = Topology.Rng.create seed in
-      let net = Exp_common.network rng ~n in
-      (* mean holding 100 time units; rate follows from the target load *)
-      let trace =
-        Dyn.poisson_trace rng net ~rate:(load /. 100.0) ~mean_holding:100.0
-          ~count:arrivals
-      in
-      List.iter
-        (fun algo ->
-          let s = Dyn.run net algo trace in
-          Hashtbl.replace acceptance algo
-            ((load, s.Dyn.acceptance_ratio) :: Hashtbl.find acceptance algo);
-          Hashtbl.replace utilization algo
-            ((load, s.Dyn.mean_utilization) :: Hashtbl.find utilization algo))
-        algos)
-    offered_loads;
-  let series tbl =
-    List.map
-      (fun algo ->
+  let loads_a = Array.of_list offered_loads in
+  let points =
+    Pool.map ~figure:"dyn" ~seed (Array.length loads_a) (fun ~rng i ->
+        let load = loads_a.(i) in
+        let net = Exp_common.network rng ~n in
+        (* mean holding 100 time units; rate follows from the target load *)
+        let trace =
+          Dyn.poisson_trace rng net ~rate:(load /. 100.0) ~mean_holding:100.0
+            ~count:arrivals
+        in
+        List.map (fun algo -> Dyn.run net algo trace) algos)
+  in
+  let points = Array.of_list points in
+  let series f =
+    List.mapi
+      (fun ai algo ->
         {
           Exp_common.label = Adm.algorithm_to_string algo;
-          points = List.rev (Hashtbl.find tbl algo);
+          points =
+            List.mapi
+              (fun li load -> (load, f (List.nth points.(li) ai)))
+              offered_loads;
         })
       algos
   in
@@ -49,7 +44,7 @@ let run ?(seed = 1) ?(n = 100) ?(arrivals = 2000) () =
       title = "acceptance ratio vs offered load (with departures)";
       xlabel = "offered load";
       ylabel = "acceptance ratio";
-      series = series acceptance;
+      series = series (fun s -> s.Dyn.acceptance_ratio);
       notes = [ note ];
     };
     {
@@ -57,7 +52,7 @@ let run ?(seed = 1) ?(n = 100) ?(arrivals = 2000) () =
       title = "time-averaged link utilisation vs offered load";
       xlabel = "offered load";
       ylabel = "mean utilisation";
-      series = series utilization;
+      series = series (fun s -> s.Dyn.mean_utilization);
       notes = [ note ];
     };
   ]

@@ -73,8 +73,17 @@ let to_csv fig =
     xs;
   Buffer.contents buf
 
+(* mkdir -p: [--csv out/run-3/figs] used to fail mid-run when the
+   parent directory was missing, losing every figure already computed *)
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
 let write_csv ~dir fig =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  ensure_dir dir;
   let path = Filename.concat dir (fig.id ^ ".csv") in
   let oc = open_out path in
   output_string oc (to_csv fig);
@@ -102,10 +111,39 @@ let as1755_network rng =
 let as4755_network rng =
   Sdn.Network.make_random_servers ~fraction:0.1 ~rng (Topology.Rocketfuel.as4755 ())
 
+(* swappable so the parallel-determinism tests (and bench --fake-clock)
+   can time with a deterministic per-domain tick counter instead of the
+   process-wide Sys.time *)
+let clock = ref Sys.time
+
 let time_of f =
-  let t0 = Sys.time () in
+  let t0 = !clock () in
   let x = f () in
-  (x, Sys.time () -. t0)
+  (x, !clock () -. t0)
+
+(* One tick per read, counted per domain (domain-local state), so the
+   number of ticks a measured region consumes depends only on the code
+   it runs — not on which domain ran it or what siblings did
+   concurrently. That makes the figures' "ms per request" columns
+   byte-identical across --jobs settings.
+
+   The tick is a power of two (2^-13 s ≈ 0.12 ms) so every clock value
+   is an exact multiple of it and differences of two readings are exact:
+   with a non-dyadic tick the accumulated counter picks up ULP rounding
+   that depends on how much earlier work ran on the same domain, and a
+   span duration sitting on a histogram-bucket boundary then lands in
+   different buckets under different schedules. *)
+let tick = 1.0 /. 8192.0
+let fake_ticks : float ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0.0)
+
+let fake_clock () =
+  let t = Domain.DLS.get fake_ticks in
+  t := !t +. tick;
+  !t
+
+let install_fake_clock () =
+  clock := fake_clock;
+  Nfv_obs.Obs.clock := fake_clock
 
 let mean = function
   | [] -> 0.0

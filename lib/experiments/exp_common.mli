@@ -26,9 +26,12 @@ val to_csv : figure -> string
     empty cells for missing points; the title and notes as ["# "]
     comment lines. *)
 
+val ensure_dir : string -> unit
+(** Create a directory and any missing parents ([mkdir -p]). *)
+
 val write_csv : dir:string -> figure -> string
-(** Write [to_csv] into [dir/<figure id>.csv] (creating [dir] if
-    needed) and return the path. *)
+(** Write [to_csv] into [dir/<figure id>.csv] (creating [dir] and any
+    missing parents if needed) and return the path. *)
 
 val gtitm_like : Topology.Rng.t -> n:int -> Topology.Topo.t
 (** A GT-ITM-style random topology of [n] switches with a size-independent
@@ -45,8 +48,25 @@ val as1755_network : Topology.Rng.t -> Sdn.Network.t
 
 val as4755_network : Topology.Rng.t -> Sdn.Network.t
 
+val clock : (unit -> float) ref
+(** Time source for {!time_of}, seconds. Defaults to [Sys.time]
+    (process CPU time). Under [--jobs N] the default clock charges a
+    point with CPU burnt by sibling domains too, so treat parallel-run
+    time columns as upper bounds — or install the fake clock for
+    determinism checks. *)
+
 val time_of : (unit -> 'a) -> 'a * float
-(** Result and elapsed CPU seconds. *)
+(** Result and elapsed seconds per {!clock}. *)
+
+val install_fake_clock : unit -> unit
+(** Replace {!clock} {e and} [Nfv_obs.Obs.clock] with a deterministic
+    per-domain tick counter (one tick of 2{^-13} s ≈ 0.12 ms per read,
+    domain-local state; the dyadic tick keeps clock differences exact in
+    floating point). The ticks a measured region consumes then depend
+    only on the code it runs, never on scheduling, which is what makes
+    figure timing columns byte-identical across [--jobs] settings.
+    Process global and irreversible; meant for the determinism tests and
+    [bench --fake-clock]. *)
 
 val mean : float list -> float
 (** 0 on the empty list. *)

@@ -3,67 +3,95 @@ module O = Nfv_multicast.One_server
 
 let ratios = [ (0.05, 'a', 'd'); (0.1, 'b', 'e'); (0.2, 'c', 'f') ]
 
+(* one data point = one (destination ratio, network size) pair; the
+   point derives everything — topology, servers, requests — from the
+   rng the pool hands it, so points are independent and the pool can
+   run them on any domain in any order *)
+type point = {
+  mean_cost_appro : float;
+  mean_cost_one : float;
+  mean_ms_appro : float;
+  mean_ms_one : float;
+}
+
 let run ?(seed = 1) ?(requests = 30) ?(sizes = [ 50; 100; 150; 200; 250 ]) () =
-  let figures = ref [] in
-  List.iter
-    (fun (ratio, cost_tag, time_tag) ->
-      let cost_appro = ref [] and cost_one = ref [] in
-      let time_appro = ref [] and time_one = ref [] in
-      List.iter
-        (fun n ->
-          let rng = Topology.Rng.create (seed + n) in
-          let net = Exp_common.network rng ~n in
-          let spec =
-            { Workload.Gen.default_spec with dmax_ratio = Some ratio }
-          in
-          let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
-          let ca = ref [] and co = ref [] and ta = ref [] and to_ = ref [] in
-          List.iter
-            (fun r ->
-              let res_a, t_a = Exp_common.time_of (fun () -> A.solve ~k:3 net r) in
-              let res_o, t_o = Exp_common.time_of (fun () -> O.solve net r) in
-              (match res_a with
-              | Ok res ->
-                ca := res.A.cost :: !ca;
-                ta := t_a :: !ta
-              | Error _ -> ());
-              match res_o with
-              | Ok res ->
-                co := res.O.cost :: !co;
-                to_ := t_o :: !to_
-              | Error _ -> ())
-            reqs;
-          let x = float_of_int n in
-          cost_appro := (x, Exp_common.mean !ca) :: !cost_appro;
-          cost_one := (x, Exp_common.mean !co) :: !cost_one;
-          time_appro := (x, 1000.0 *. Exp_common.mean !ta) :: !time_appro;
-          time_one := (x, 1000.0 *. Exp_common.mean !to_) :: !time_one)
-        sizes;
-      let mk id title ylabel s1 s2 =
+  let params =
+    Array.of_list
+      (List.concat_map
+         (fun (ratio, _, _) -> List.map (fun n -> (ratio, n)) sizes)
+         ratios)
+  in
+  let points =
+    Pool.map ~figure:"fig5" ~seed (Array.length params) (fun ~rng i ->
+        let ratio, n = params.(i) in
+        let net = Exp_common.network rng ~n in
+        let spec = { Workload.Gen.default_spec with dmax_ratio = Some ratio } in
+        let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
+        let ca = ref [] and co = ref [] and ta = ref [] and to_ = ref [] in
+        List.iter
+          (fun r ->
+            let res_a, t_a = Exp_common.time_of (fun () -> A.solve ~k:3 net r) in
+            let res_o, t_o = Exp_common.time_of (fun () -> O.solve net r) in
+            (match res_a with
+            | Ok res ->
+              ca := res.A.cost :: !ca;
+              ta := t_a :: !ta
+            | Error _ -> ());
+            match res_o with
+            | Ok res ->
+              co := res.O.cost :: !co;
+              to_ := t_o :: !to_
+            | Error _ -> ())
+          reqs;
         {
-          Exp_common.id;
-          title;
-          xlabel = "|V|";
-          ylabel;
-          series =
-            [
-              { Exp_common.label = "Appro_Multi"; points = List.rev s1 };
-              { Exp_common.label = "Alg_One_Server"; points = List.rev s2 };
-            ];
-          notes =
-            [
-              Printf.sprintf "Dmax/|V| = %.2f, K = 3, %d requests averaged per point"
-                ratio requests;
-            ];
-        }
-      in
-      figures :=
-        mk
-          (Printf.sprintf "fig5%c" time_tag)
-          "running time vs network size" "ms per request" !time_appro !time_one
-        :: mk
-             (Printf.sprintf "fig5%c" cost_tag)
-             "operational cost vs network size" "mean cost" !cost_appro !cost_one
-        :: !figures)
-    ratios;
-  List.sort (fun a b -> compare a.Exp_common.id b.Exp_common.id) !figures
+          mean_cost_appro = Exp_common.mean !ca;
+          mean_cost_one = Exp_common.mean !co;
+          mean_ms_appro = 1000.0 *. Exp_common.mean !ta;
+          mean_ms_one = 1000.0 *. Exp_common.mean !to_;
+        })
+  in
+  let points = Array.of_list points in
+  let per_size = List.length sizes in
+  let figures =
+    List.concat
+      (List.mapi
+         (fun ri (ratio, cost_tag, time_tag) ->
+           let row f =
+             List.mapi
+               (fun si n -> (float_of_int n, f points.((ri * per_size) + si)))
+               sizes
+           in
+           let mk id title ylabel s1 s2 =
+             {
+               Exp_common.id;
+               title;
+               xlabel = "|V|";
+               ylabel;
+               series =
+                 [
+                   { Exp_common.label = "Appro_Multi"; points = s1 };
+                   { Exp_common.label = "Alg_One_Server"; points = s2 };
+                 ];
+               notes =
+                 [
+                   Printf.sprintf
+                     "Dmax/|V| = %.2f, K = 3, %d requests averaged per point"
+                     ratio requests;
+                 ];
+             }
+           in
+           [
+             mk
+               (Printf.sprintf "fig5%c" cost_tag)
+               "operational cost vs network size" "mean cost"
+               (row (fun p -> p.mean_cost_appro))
+               (row (fun p -> p.mean_cost_one));
+             mk
+               (Printf.sprintf "fig5%c" time_tag)
+               "running time vs network size" "ms per request"
+               (row (fun p -> p.mean_ms_appro))
+               (row (fun p -> p.mean_ms_one));
+           ])
+         ratios)
+  in
+  List.sort (fun a b -> compare a.Exp_common.id b.Exp_common.id) figures

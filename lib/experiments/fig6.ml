@@ -3,67 +3,93 @@ module O = Nfv_multicast.One_server
 
 let ratios = [ 0.05; 0.1; 0.15; 0.2 ]
 
+type point = {
+  mean_cost_appro : float;
+  mean_cost_one : float;
+  mean_ms_appro : float;
+  mean_ms_one : float;
+}
+
+let nets =
+  [
+    ("GEANT", 'a', 'c', fun rng -> Exp_common.geant_network rng);
+    ("AS1755", 'b', 'd', fun rng -> Exp_common.as1755_network rng);
+  ]
+
 let run ?(seed = 1) ?(requests = 100) () =
-  let nets =
-    [
-      ("GEANT", 'a', 'c', fun rng -> Exp_common.geant_network rng);
-      ("AS1755", 'b', 'd', fun rng -> Exp_common.as1755_network rng);
-    ]
+  let params =
+    Array.of_list
+      (List.concat_map
+         (fun (_, _, _, make_net) -> List.map (fun r -> (make_net, r)) ratios)
+         nets)
   in
-  List.concat_map
-    (fun (name, cost_tag, time_tag, make_net) ->
-      let cost_appro = ref [] and cost_one = ref [] in
-      let time_appro = ref [] and time_one = ref [] in
-      List.iter
-        (fun ratio ->
-          let rng = Topology.Rng.create seed in
-          let net = make_net rng in
-          let spec = { Workload.Gen.default_spec with dmax_ratio = Some ratio } in
-          let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
-          let ca = ref [] and co = ref [] and ta = ref [] and to_ = ref [] in
-          List.iter
-            (fun r ->
-              let res_a, t_a = Exp_common.time_of (fun () -> A.solve ~k:3 net r) in
-              let res_o, t_o = Exp_common.time_of (fun () -> O.solve net r) in
-              (match res_a with
-              | Ok res ->
-                ca := res.A.cost :: !ca;
-                ta := t_a :: !ta
-              | Error _ -> ());
-              match res_o with
-              | Ok res ->
-                co := res.O.cost :: !co;
-                to_ := t_o :: !to_
-              | Error _ -> ())
-            reqs;
-          cost_appro := (ratio, Exp_common.mean !ca) :: !cost_appro;
-          cost_one := (ratio, Exp_common.mean !co) :: !cost_one;
-          time_appro := (ratio, 1000.0 *. Exp_common.mean !ta) :: !time_appro;
-          time_one := (ratio, 1000.0 *. Exp_common.mean !to_) :: !time_one)
-        ratios;
-      let mk id title ylabel s1 s2 =
+  let points =
+    Pool.map ~figure:"fig6" ~seed (Array.length params) (fun ~rng i ->
+        let make_net, ratio = params.(i) in
+        let net = make_net rng in
+        let spec = { Workload.Gen.default_spec with dmax_ratio = Some ratio } in
+        let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
+        let ca = ref [] and co = ref [] and ta = ref [] and to_ = ref [] in
+        List.iter
+          (fun r ->
+            let res_a, t_a = Exp_common.time_of (fun () -> A.solve ~k:3 net r) in
+            let res_o, t_o = Exp_common.time_of (fun () -> O.solve net r) in
+            (match res_a with
+            | Ok res ->
+              ca := res.A.cost :: !ca;
+              ta := t_a :: !ta
+            | Error _ -> ());
+            match res_o with
+            | Ok res ->
+              co := res.O.cost :: !co;
+              to_ := t_o :: !to_
+            | Error _ -> ())
+          reqs;
         {
-          Exp_common.id;
-          title;
-          xlabel = "Dmax/|V|";
-          ylabel;
-          series =
-            [
-              { Exp_common.label = "Appro_Multi"; points = List.rev s1 };
-              { Exp_common.label = "Alg_One_Server"; points = List.rev s2 };
-            ];
-          notes =
-            [ Printf.sprintf "%s, K = 3, %d requests averaged per point" name requests ];
-        }
-      in
-      [
-        mk
-          (Printf.sprintf "fig6%c" cost_tag)
-          ("operational cost in " ^ name)
-          "mean cost" !cost_appro !cost_one;
-        mk
-          (Printf.sprintf "fig6%c" time_tag)
-          ("running time in " ^ name)
-          "ms per request" !time_appro !time_one;
-      ])
-    nets
+          mean_cost_appro = Exp_common.mean !ca;
+          mean_cost_one = Exp_common.mean !co;
+          mean_ms_appro = 1000.0 *. Exp_common.mean !ta;
+          mean_ms_one = 1000.0 *. Exp_common.mean !to_;
+        })
+  in
+  let points = Array.of_list points in
+  let per_net = List.length ratios in
+  List.concat
+    (List.mapi
+       (fun ni (name, cost_tag, time_tag, _) ->
+         let row f =
+           List.mapi (fun ri r -> (r, f points.((ni * per_net) + ri))) ratios
+         in
+         let mk id title ylabel s1 s2 =
+           {
+             Exp_common.id;
+             title;
+             xlabel = "Dmax/|V|";
+             ylabel;
+             series =
+               [
+                 { Exp_common.label = "Appro_Multi"; points = s1 };
+                 { Exp_common.label = "Alg_One_Server"; points = s2 };
+               ];
+             notes =
+               [
+                 Printf.sprintf "%s, K = 3, %d requests averaged per point" name
+                   requests;
+               ];
+           }
+         in
+         [
+           mk
+             (Printf.sprintf "fig6%c" cost_tag)
+             ("operational cost in " ^ name)
+             "mean cost"
+             (row (fun p -> p.mean_cost_appro))
+             (row (fun p -> p.mean_cost_one));
+           mk
+             (Printf.sprintf "fig6%c" time_tag)
+             ("running time in " ^ name)
+             "ms per request"
+             (row (fun p -> p.mean_ms_appro))
+             (row (fun p -> p.mean_ms_one));
+         ])
+       nets)

@@ -2,35 +2,30 @@ module Adm = Nfv_multicast.Admission
 
 let algos = [ Adm.Online_cp; Adm.Online_cp_no_threshold; Adm.Sp ]
 
+(* One pool point = one network size. The three algorithms must race on
+   the {e same} network and request sequence, so they stay together
+   inside the point rather than becoming points of their own. *)
+
 let run ?(seed = 1) ?(requests = 1500) ?(sizes = [ 50; 100; 150; 200; 250 ]) () =
-  let admitted = Hashtbl.create 4 and times = Hashtbl.create 4 in
-  List.iter
-    (fun algo ->
-      Hashtbl.replace admitted algo [];
-      Hashtbl.replace times algo [])
-    algos;
-  List.iter
-    (fun n ->
-      let rng = Topology.Rng.create (seed + n) in
-      let net = Exp_common.network rng ~n in
-      let reqs = Workload.Gen.sequence rng net ~count:requests in
-      List.iter
-        (fun algo ->
-          let s = Adm.run net algo reqs in
-          let x = float_of_int n in
-          Hashtbl.replace admitted algo
-            ((x, float_of_int s.Adm.admitted) :: Hashtbl.find admitted algo);
-          Hashtbl.replace times algo
-            ((x, 1000.0 *. s.Adm.runtime_s /. float_of_int requests)
-            :: Hashtbl.find times algo))
-        algos)
-    sizes;
-  let series tbl =
-    List.map
-      (fun algo ->
+  let sizes_a = Array.of_list sizes in
+  let points =
+    Pool.map ~figure:"fig8" ~seed (Array.length sizes_a) (fun ~rng i ->
+        let n = sizes_a.(i) in
+        let net = Exp_common.network rng ~n in
+        let reqs = Workload.Gen.sequence rng net ~count:requests in
+        List.map (fun algo -> Adm.run net algo reqs) algos)
+  in
+  let points = Array.of_list points in
+  let series f =
+    List.mapi
+      (fun ai algo ->
         {
           Exp_common.label = Adm.algorithm_to_string algo;
-          points = List.rev (Hashtbl.find tbl algo);
+          points =
+            List.mapi
+              (fun si n ->
+                (float_of_int n, f (List.nth points.(si) ai)))
+              sizes;
         })
       algos
   in
@@ -48,7 +43,7 @@ let run ?(seed = 1) ?(requests = 1500) ?(sizes = [ 50; 100; 150; 200; 250 ]) () 
       title = "admitted requests vs network size";
       xlabel = "|V|";
       ylabel = "admitted";
-      series = series admitted;
+      series = series (fun s -> float_of_int s.Adm.admitted);
       notes;
     };
     {
@@ -56,7 +51,8 @@ let run ?(seed = 1) ?(requests = 1500) ?(sizes = [ 50; 100; 150; 200; 250 ]) () 
       title = "online running time vs network size";
       xlabel = "|V|";
       ylabel = "ms per request";
-      series = series times;
+      series =
+        series (fun s -> 1000.0 *. s.Adm.runtime_s /. float_of_int requests);
       notes = [ List.hd notes ];
     };
   ]

@@ -2,34 +2,43 @@ module Adm = Nfv_multicast.Admission
 
 let algos = [ Adm.Online_cp; Adm.Online_cp_no_threshold; Adm.Sp ]
 
+let nets =
+  [
+    ("GEANT", 'a', fun rng -> Exp_common.geant_network rng);
+    ("AS1755", 'b', fun rng -> Exp_common.as1755_network rng);
+  ]
+
+(* One pool point = one topology; the three algorithms share its network
+   and request sequence, so they run together inside the point. *)
+
 let run ?(seed = 1) ?(requests = 1500) () =
-  let nets =
-    [
-      ("GEANT", 'a', fun rng -> Exp_common.geant_network rng);
-      ("AS1755", 'b', fun rng -> Exp_common.as1755_network rng);
-    ]
-  in
   let prefixes =
-    List.filter
-      (fun p -> p <= requests)
-      [ 50; 100; 150; 200; 250; 300; 600; 1000; 1500 ]
+    List.sort_uniq compare
+      (requests
+      :: List.filter
+           (fun p -> p <= requests)
+           [ 50; 100; 150; 200; 250; 300; 600; 1000; 1500 ])
   in
-  List.map
-    (fun (name, tag, make_net) ->
-      let rng = Topology.Rng.create seed in
-      let net = make_net rng in
-      let reqs = Workload.Gen.sequence rng net ~count:requests in
+  let nets_a = Array.of_list nets in
+  let points =
+    Pool.map ~figure:"fig9" ~seed (Array.length nets_a) (fun ~rng i ->
+        let _, _, make_net = nets_a.(i) in
+        let net = make_net rng in
+        let reqs = Workload.Gen.sequence rng net ~count:requests in
+        List.map (fun algo -> Adm.run net algo reqs) algos)
+  in
+  List.map2
+    (fun (name, tag, _) stats_by_algo ->
       let curve stats =
         List.map
           (fun p -> (float_of_int p, float_of_int (Adm.admitted_after stats p)))
           prefixes
       in
       let series =
-        List.map
-          (fun algo ->
-            let stats = Adm.run net algo reqs in
+        List.map2
+          (fun algo stats ->
             { Exp_common.label = Adm.algorithm_to_string algo; points = curve stats })
-          algos
+          algos stats_by_algo
       in
       {
         Exp_common.id = Printf.sprintf "fig9%c" tag;
@@ -43,4 +52,4 @@ let run ?(seed = 1) ?(requests = 1500) () =
               requests;
           ];
       })
-    nets
+    nets points

@@ -4,30 +4,29 @@ module Rb = Nfv_multicast.Rule_budget
 let algos = [ Adm.Online_cp_no_threshold; Adm.Sp ]
 let capacities = [ 25; 50; 100; 200; 400 ]
 
+(* One pool point = one per-switch rule capacity; both algorithms admit
+   the same sequence under that budget, so they stay inside the point. *)
+
 let run ?(seed = 1) ?(n = 100) ?(requests = 400) () =
-  let acc = Hashtbl.create 4 in
-  List.iter (fun a -> Hashtbl.replace acc a []) algos;
-  List.iter
-    (fun cap ->
-      let rng = Topology.Rng.create seed in
-      let net = Exp_common.network rng ~n in
-      let reqs = Workload.Gen.sequence rng net ~count:requests in
-      List.iter
-        (fun algo ->
-          Sdn.Network.reset net;
-          let budget = Rb.create net ~capacity:cap in
-          let admitted =
+  let caps_a = Array.of_list capacities in
+  let points =
+    Pool.map ~figure:"table" ~seed (Array.length caps_a) (fun ~rng i ->
+        let cap = caps_a.(i) in
+        let net = Exp_common.network rng ~n in
+        let reqs = Workload.Gen.sequence rng net ~count:requests in
+        List.map
+          (fun algo ->
+            Sdn.Network.reset net;
+            let budget = Rb.create net ~capacity:cap in
             List.fold_left
               (fun k r ->
                 match Rb.admit budget net algo r with
                 | Ok _ -> k + 1
                 | Error _ -> k)
-              0 reqs
-          in
-          Hashtbl.replace acc algo
-            ((float_of_int cap, float_of_int admitted) :: Hashtbl.find acc algo))
-        algos)
-    capacities;
+              0 reqs)
+          algos)
+  in
+  let points = Array.of_list points in
   [
     {
       Exp_common.id = "tableA";
@@ -35,11 +34,16 @@ let run ?(seed = 1) ?(n = 100) ?(requests = 400) () =
       xlabel = "rules per switch";
       ylabel = "admitted";
       series =
-        List.map
-          (fun a ->
+        List.mapi
+          (fun ai a ->
             {
               Exp_common.label = Adm.algorithm_to_string a;
-              points = List.rev (Hashtbl.find acc a);
+              points =
+                List.mapi
+                  (fun ci cap ->
+                    ( float_of_int cap,
+                      float_of_int (List.nth points.(ci) ai) ))
+                  capacities;
             })
           algos;
       notes = [ Printf.sprintf "n = %d, %d requests, K = 1" n requests ];

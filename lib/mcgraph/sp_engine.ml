@@ -34,9 +34,10 @@ type t = {
   mutable stale_drops : int;
 }
 
-let total_computed = ref 0
+(* atomic: engines run concurrently in parallel figure workers *)
+let total_computed = Atomic.make 0
 
-let global_trees_computed () = !total_computed
+let global_trees_computed () = Atomic.get total_computed
 
 (* process-wide cache behaviour, aggregated over every engine *)
 let c_hits = Obs.Counter.make "sp_engine.cache_hits"
@@ -88,7 +89,7 @@ let spt t source =
     Obs.Counter.incr c_misses;
     let tree = Paths.dijkstra t.graph ~weight:t.weight ~source in
     t.computed <- t.computed + 1;
-    incr total_computed;
+    Atomic.incr total_computed;
     t.cache.(source) <- Some tree;
     tree
 

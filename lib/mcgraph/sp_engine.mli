@@ -97,4 +97,5 @@ val stats : t -> stats
 val global_trees_computed : unit -> int
 (** Process-wide count of Dijkstra trees computed by all engines — an
     observability hook for benchmarks and admission statistics that
-    works even with [Nfv_obs.Obs.enabled] off. *)
+    works even with [Nfv_obs.Obs.enabled] off. Atomic, so it aggregates
+    across the parallel harness's worker domains too. *)

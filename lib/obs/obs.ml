@@ -1,7 +1,16 @@
 (* Metrics/tracing substrate. Everything is registered in global
    per-kind registries so exporters can walk the full instrument
    population without the instrumented layers knowing about each other.
-   Recording is gated on [enabled]; see obs.mli for the contract. *)
+   Recording is gated on [enabled]; see obs.mli for the contract.
+
+   Domain safety: the global registries belong to the main domain and
+   are never touched from any other domain. A worker domain records
+   into a private per-domain shard (domain-local storage, keyed by
+   instrument name); the parallel harness collects each worker's shard
+   after [Domain.join] and folds it into the global registries with
+   [Sharding.merge]. Handles created at module-init time in the main
+   domain can therefore be used from any domain: every operation
+   dispatches on [Domain.is_main_domain]. *)
 
 let enabled = ref false
 let clock = ref Sys.time
@@ -37,17 +46,104 @@ module Registry = struct
       r.rev_order <- x :: r.rev_order;
       x
 
+  let find_opt r name = Hashtbl.find_opt r.tbl name
   let items r = List.rev r.rev_order
+
+  let clear r =
+    Hashtbl.reset r.tbl;
+    r.rev_order <- []
 end
+
+(* ---- per-domain shards (worker-side storage) ----
+
+   A worker domain must not mutate the global registries (races with
+   the main domain and with other workers), so each domain owns a
+   shard: one name-keyed registry per instrument kind, holding plain
+   mutable cells. Cells are created lazily on first record and carry
+   everything [Sharding.merge] needs to fold them back. *)
+
+type counter_cell = { c_name : string; mutable c_v : int }
+type gauge_cell = { g_name : string; mutable g_v : float }
+
+type timer_cell = {
+  t_name : string;
+  mutable t_count : int;
+  mutable t_total : float;
+}
+
+type hist_cell = {
+  h_name : string;
+  h_bnds : float array;
+  h_bkts : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+}
+
+type shard_store = {
+  sh_counters : counter_cell Registry.t;
+  sh_gauges : gauge_cell Registry.t;
+  sh_timers : timer_cell Registry.t;
+  sh_hists : hist_cell Registry.t;
+}
+
+let fresh_shard () =
+  {
+    sh_counters = Registry.create ();
+    sh_gauges = Registry.create ();
+    sh_timers = Registry.create ();
+    sh_hists = Registry.create ();
+  }
+
+let shard_key : shard_store Domain.DLS.key = Domain.DLS.new_key fresh_shard
+let local_shard () = Domain.DLS.get shard_key
+let in_main () = Domain.is_main_domain ()
 
 module Counter = struct
   type t = { name : string; mutable v : int }
 
   let registry : t Registry.t = Registry.create ()
-  let make name = Registry.find_or_add registry name (fun () -> { name; v = 0 })
-  let incr t = if !enabled then t.v <- t.v + 1
-  let add t n = if !enabled then t.v <- t.v + n
-  let value t = t.v
+
+  (* In the main domain, [make] registers globally as before. In a
+     worker it returns a detached handle — a pure name carrier whose
+     record operations resolve to this domain's shard — so dynamic
+     registration (e.g. span histograms) never touches shared state. *)
+  let make name =
+    if in_main () then Registry.find_or_add registry name (fun () -> { name; v = 0 })
+    else begin
+      check_name name;
+      { name; v = 0 }
+    end
+
+  let cell t =
+    Registry.find_or_add (local_shard ()).sh_counters t.name (fun () ->
+        { c_name = t.name; c_v = 0 })
+
+  let incr t =
+    if !enabled then
+      if in_main () then t.v <- t.v + 1
+      else begin
+        let c = cell t in
+        c.c_v <- c.c_v + 1
+      end
+
+  let add t n =
+    if !enabled then
+      if in_main () then t.v <- t.v + n
+      else begin
+        let c = cell t in
+        c.c_v <- c.c_v + n
+      end
+
+  (* reads are per-domain views: the global value in the main domain,
+     this domain's unmerged contribution in a worker — which is exactly
+     what before/after delta attribution inside a worker needs *)
+  let value t =
+    if in_main () then t.v
+    else
+      match Registry.find_opt (local_shard ()).sh_counters t.name with
+      | Some c -> c.c_v
+      | None -> 0
+
   let name t = t.name
 end
 
@@ -55,9 +151,33 @@ module Gauge = struct
   type t = { name : string; mutable v : float }
 
   let registry : t Registry.t = Registry.create ()
-  let make name = Registry.find_or_add registry name (fun () -> { name; v = 0.0 })
-  let set t x = if !enabled then t.v <- x
-  let value t = t.v
+
+  let make name =
+    if in_main () then
+      Registry.find_or_add registry name (fun () -> { name; v = 0.0 })
+    else begin
+      check_name name;
+      { name; v = 0.0 }
+    end
+
+  let set t x =
+    if !enabled then
+      if in_main () then t.v <- x
+      else begin
+        let c =
+          Registry.find_or_add (local_shard ()).sh_gauges t.name (fun () ->
+              { g_name = t.name; g_v = 0.0 })
+        in
+        c.g_v <- x
+      end
+
+  let value t =
+    if in_main () then t.v
+    else
+      match Registry.find_opt (local_shard ()).sh_gauges t.name with
+      | Some c -> c.g_v
+      | None -> 0.0
+
   let name t = t.name
 end
 
@@ -67,28 +187,53 @@ module Timer = struct
   let registry : t Registry.t = Registry.create ()
 
   let make name =
-    Registry.find_or_add registry name (fun () -> { name; count = 0; total = 0.0 })
+    if in_main () then
+      Registry.find_or_add registry name (fun () ->
+          { name; count = 0; total = 0.0 })
+    else begin
+      check_name name;
+      { name; count = 0; total = 0.0 }
+    end
 
-  let add t dt =
-    if dt < 0.0 then invalid_arg "Obs.Timer.add: negative duration";
-    if !enabled then begin
+  let record t dt =
+    if in_main () then begin
       t.count <- t.count + 1;
       t.total <- t.total +. dt
     end
+    else begin
+      let c =
+        Registry.find_or_add (local_shard ()).sh_timers t.name (fun () ->
+            { t_name = t.name; t_count = 0; t_total = 0.0 })
+      in
+      c.t_count <- c.t_count + 1;
+      c.t_total <- c.t_total +. dt
+    end
+
+  let add t dt =
+    if dt < 0.0 then invalid_arg "Obs.Timer.add: negative duration";
+    if !enabled then record t dt
 
   let time t f =
     if not !enabled then f ()
     else begin
       let t0 = !clock () in
-      Fun.protect
-        ~finally:(fun () ->
-          t.count <- t.count + 1;
-          t.total <- t.total +. (!clock () -. t0))
-        f
+      Fun.protect ~finally:(fun () -> record t (!clock () -. t0)) f
     end
 
-  let count t = t.count
-  let total t = t.total
+  let count t =
+    if in_main () then t.count
+    else
+      match Registry.find_opt (local_shard ()).sh_timers t.name with
+      | Some c -> c.t_count
+      | None -> 0
+
+  let total t =
+    if in_main () then t.total
+    else
+      match Registry.find_opt (local_shard ()).sh_timers t.name with
+      | Some c -> c.t_total
+      | None -> 0.0
+
   let name t = t.name
 end
 
@@ -115,39 +260,96 @@ module Histogram = struct
       b
 
   let make ?(bounds = default_bounds) name =
-    Registry.find_or_add registry name (fun () ->
-        check_bounds bounds;
-        {
-          name;
-          bnds = Array.copy bounds;
-          bkts = Array.make (Array.length bounds + 1) 0;
-          count = 0;
-          sum = 0.0;
-        })
-
-  let observe t x =
-    if !enabled then begin
-      t.count <- t.count + 1;
-      t.sum <- t.sum +. x;
-      let n = Array.length t.bnds in
-      let i = ref 0 in
-      while !i < n && x > t.bnds.(!i) do
-        incr i
-      done;
-      t.bkts.(!i) <- t.bkts.(!i) + 1
+    if in_main () then
+      Registry.find_or_add registry name (fun () ->
+          check_bounds bounds;
+          {
+            name;
+            bnds = Array.copy bounds;
+            bkts = Array.make (Array.length bounds + 1) 0;
+            count = 0;
+            sum = 0.0;
+          })
+    else begin
+      check_name name;
+      check_bounds bounds;
+      {
+        name;
+        bnds = Array.copy bounds;
+        bkts = Array.make (Array.length bounds + 1) 0;
+        count = 0;
+        sum = 0.0;
+      }
     end
 
-  let count t = t.count
-  let sum t = t.sum
-  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+  let cell t =
+    Registry.find_or_add (local_shard ()).sh_hists t.name (fun () ->
+        {
+          h_name = t.name;
+          h_bnds = Array.copy t.bnds;
+          h_bkts = Array.make (Array.length t.bnds + 1) 0;
+          h_count = 0;
+          h_sum = 0.0;
+        })
+
+  let bucket_index bnds x =
+    let n = Array.length bnds in
+    let i = ref 0 in
+    while !i < n && x > bnds.(!i) do
+      incr i
+    done;
+    !i
+
+  let observe t x =
+    if !enabled then
+      if in_main () then begin
+        t.count <- t.count + 1;
+        t.sum <- t.sum +. x;
+        let i = bucket_index t.bnds x in
+        t.bkts.(i) <- t.bkts.(i) + 1
+      end
+      else begin
+        let c = cell t in
+        c.h_count <- c.h_count + 1;
+        c.h_sum <- c.h_sum +. x;
+        let i = bucket_index c.h_bnds x in
+        c.h_bkts.(i) <- c.h_bkts.(i) + 1
+      end
+
+  (* per-domain view of (count, sum, buckets); worker reads see this
+     domain's unmerged contribution, like Counter.value *)
+  let view t =
+    if in_main () then (t.count, t.sum, t.bkts)
+    else
+      match Registry.find_opt (local_shard ()).sh_hists t.name with
+      | Some c -> (c.h_count, c.h_sum, c.h_bkts)
+      | None -> (0, 0.0, t.bkts)
+
+  let count t =
+    let c, _, _ = view t in
+    c
+
+  let sum t =
+    let _, s, _ = view t in
+    s
+
+  let mean t =
+    let c, s, _ = view t in
+    if c = 0 then 0.0 else s /. float_of_int c
+
   let bounds t = Array.copy t.bnds
-  let buckets t = Array.copy t.bkts
+
+  let buckets t =
+    let c, _, b = view t in
+    if c = 0 && not (in_main ()) then Array.make (Array.length t.bnds + 1) 0
+    else Array.copy b
 
   let quantile t q =
     if q < 0.0 || q > 1.0 then invalid_arg "Obs.Histogram.quantile";
-    if t.count = 0 then 0.0
+    let cnt, _, bkts = view t in
+    if cnt = 0 then 0.0
     else begin
-      let target = q *. float_of_int t.count in
+      let target = q *. float_of_int cnt in
       let cum = ref 0 in
       let result = ref infinity in
       (try
@@ -158,7 +360,7 @@ module Histogram = struct
                result := (if i < Array.length t.bnds then t.bnds.(i) else infinity);
                raise Exit
              end)
-           t.bkts
+           bkts
        with Exit -> ());
       !result
     end
@@ -167,14 +369,18 @@ module Histogram = struct
 end
 
 module Span = struct
-  (* stack of full paths, innermost first; only touched while enabled *)
-  let stack : string list ref = ref []
+  (* stack of full paths, innermost first, one per domain; only touched
+     while enabled *)
+  let stack_key : string list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
 
-  let current () = match !stack with [] -> None | p :: _ -> Some p
+  let current () =
+    match !(Domain.DLS.get stack_key) with [] -> None | p :: _ -> Some p
 
   let run name f =
     if not !enabled then f ()
     else begin
+      let stack = Domain.DLS.get stack_key in
       let path =
         match !stack with [] -> name | parent :: _ -> parent ^ "/" ^ name
       in
@@ -190,21 +396,82 @@ module Span = struct
 end
 
 let reset_all () =
-  List.iter (fun (c : Counter.t) -> c.Counter.v <- 0)
-    (Registry.items Counter.registry);
-  List.iter (fun (g : Gauge.t) -> g.Gauge.v <- 0.0)
-    (Registry.items Gauge.registry);
-  List.iter
-    (fun (t : Timer.t) ->
-      t.Timer.count <- 0;
-      t.Timer.total <- 0.0)
-    (Registry.items Timer.registry);
-  List.iter
-    (fun (h : Histogram.t) ->
-      h.Histogram.count <- 0;
-      h.Histogram.sum <- 0.0;
-      Array.fill h.Histogram.bkts 0 (Array.length h.Histogram.bkts) 0)
-    (Registry.items Histogram.registry)
+  if in_main () then begin
+    List.iter (fun (c : Counter.t) -> c.Counter.v <- 0)
+      (Registry.items Counter.registry);
+    List.iter (fun (g : Gauge.t) -> g.Gauge.v <- 0.0)
+      (Registry.items Gauge.registry);
+    List.iter
+      (fun (t : Timer.t) ->
+        t.Timer.count <- 0;
+        t.Timer.total <- 0.0)
+      (Registry.items Timer.registry);
+    List.iter
+      (fun (h : Histogram.t) ->
+        h.Histogram.count <- 0;
+        h.Histogram.sum <- 0.0;
+        Array.fill h.Histogram.bkts 0 (Array.length h.Histogram.bkts) 0)
+      (Registry.items Histogram.registry)
+  end
+  else begin
+    (* a worker can only zero its own shard; the global registries stay
+       untouched (they belong to the main domain) *)
+    let s = local_shard () in
+    Registry.clear s.sh_counters;
+    Registry.clear s.sh_gauges;
+    Registry.clear s.sh_timers;
+    Registry.clear s.sh_hists
+  end
+
+module Sharding = struct
+  type shard = shard_store
+
+  let take () =
+    if in_main () then fresh_shard ()
+    else begin
+      let s = Domain.DLS.get shard_key in
+      Domain.DLS.set shard_key (fresh_shard ());
+      s
+    end
+
+  let merge s =
+    if not (in_main ()) then
+      invalid_arg "Obs.Sharding.merge: must be called from the main domain";
+    List.iter
+      (fun (c : counter_cell) ->
+        let g = Counter.make c.c_name in
+        g.Counter.v <- g.Counter.v + c.c_v)
+      (Registry.items s.sh_counters);
+    List.iter
+      (fun (gc : gauge_cell) ->
+        let g = Gauge.make gc.g_name in
+        g.Gauge.v <- gc.g_v)
+      (Registry.items s.sh_gauges);
+    List.iter
+      (fun (tc : timer_cell) ->
+        let t = Timer.make tc.t_name in
+        t.Timer.count <- t.Timer.count + tc.t_count;
+        t.Timer.total <- t.Timer.total +. tc.t_total)
+      (Registry.items s.sh_timers);
+    List.iter
+      (fun (hc : hist_cell) ->
+        let h = Histogram.make ~bounds:hc.h_bnds hc.h_name in
+        h.Histogram.count <- h.Histogram.count + hc.h_count;
+        h.Histogram.sum <- h.Histogram.sum +. hc.h_sum;
+        if h.Histogram.bnds = hc.h_bnds then
+          Array.iteri
+            (fun i k -> h.Histogram.bkts.(i) <- h.Histogram.bkts.(i) + k)
+            hc.h_bkts
+        else begin
+          (* bounds mismatch — a contract violation (idempotent [make]
+             requires one bounds array per name); keep the totals honest
+             by folding everything into the overflow bucket *)
+          let last = Array.length h.Histogram.bkts - 1 in
+          let tot = Array.fold_left ( + ) 0 hc.h_bkts in
+          h.Histogram.bkts.(last) <- h.Histogram.bkts.(last) + tot
+        end)
+      (Registry.items s.sh_hists)
+end
 
 module Export = struct
   type metric =

@@ -20,8 +20,18 @@
     conventional shape is ["layer.event"], e.g.
     ["sp_engine.cache_hits"].
 
-    Nothing here is thread-safe; the process is single-threaded, as is
-    the rest of the repository. *)
+    {b Domains.} The global registries belong to the main domain and are
+    never mutated from any other domain. Recording from a worker domain
+    (spawned by the [Experiments.Pool] harness or directly) lands in a
+    private
+    per-domain {e shard}; reads from a worker see that domain's unmerged
+    contribution, so before/after delta attribution keeps working inside
+    a worker. After joining a worker, the main domain folds its shard
+    back with {!Sharding.merge}: counters and timers sum, histograms add
+    bucket-wise, gauges are last-write-wins in merge order. The same
+    name must keep the same histogram bounds across domains. {!enabled}
+    and {!clock} are plain refs shared by all domains: set them before
+    spawning workers and leave them alone while workers run. *)
 
 val enabled : bool ref
 (** Master switch, default [false]. All recording operations ({!Counter.incr},
@@ -30,15 +40,51 @@ val enabled : bool ref
 
 val clock : (unit -> float) ref
 (** Time source used by {!Timer.time} and {!Span.run}, in seconds.
-    Defaults to [Sys.time] (processor time — the repository is
-    single-threaded and CPU-bound, so this matches what the experiment
-    harness already reports). Tests substitute a fake clock to make span
-    and timer arithmetic deterministic. *)
+    Defaults to [Sys.time] (processor time). Note that [Sys.time] is
+    process-wide: under a multi-domain run a worker's span durations
+    include CPU burnt by sibling domains, so treat per-request timing
+    telemetry from parallel runs as an upper bound (the determinism
+    test suite substitutes a per-domain fake clock instead). Tests
+    substitute a fake clock to make span and timer arithmetic
+    deterministic. *)
 
 val reset_all : unit -> unit
 (** Zero every registered instrument (counts, sums, buckets). The
     instruments themselves stay registered. Benchmarks call this between
-    phases so each phase's snapshot is self-contained. *)
+    phases so each phase's snapshot is self-contained. Called from a
+    worker domain it zeroes only that domain's shard. *)
+
+(** Per-domain shard hand-off for parallel harnesses. A worker domain's
+    records accumulate in a private shard; the code that joins the
+    worker moves them into the global registry:
+
+    {[
+      let worker () = ...work...; Obs.Sharding.take () in
+      let shards = List.map Domain.join (List.map Domain.spawn workers) in
+      List.iter Obs.Sharding.merge shards
+    ]}
+
+    Merging in spawn order makes the gauge last-write-wins rule
+    deterministic per domain id. Nothing here is gated on {!enabled}:
+    when recording was disabled the shard is empty and [merge] is a
+    no-op. *)
+module Sharding : sig
+  type shard
+
+  val take : unit -> shard
+  (** Detach and return the calling domain's accumulated shard,
+      resetting the domain's local state. In the main domain (which
+      records straight into the global registry) this returns an empty
+      shard. Call as the last thing a worker does, and hand the result
+      to the joining domain. *)
+
+  val merge : shard -> unit
+  (** Fold a worker shard into the global registry: counters and timers
+      sum, histogram buckets add bucket-wise (instruments first seen in
+      the worker are registered with the worker's bounds), gauges
+      overwrite (last merge wins). Must be called from the main domain;
+      raises [Invalid_argument] elsewhere. *)
+end
 
 (** {1 Instruments} *)
 
@@ -58,7 +104,10 @@ module Counter : sig
   (** Add an arbitrary non-negative amount, when {!enabled}. *)
 
   val value : t -> int
-  (** Current count. Reads are never gated. *)
+  (** Current count. Reads are never gated. In a worker domain this is
+      the domain's own unmerged contribution (0 before its first
+      record), which keeps before/after attribution deltas correct
+      under parallel runs. *)
 
   val name : t -> string
 end

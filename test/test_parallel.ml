@@ -1,0 +1,264 @@
+(* The parallel figure harness's contract: running a figure with N worker
+   domains produces the same bytes as running it sequentially, and worker
+   telemetry folds back into the global registry without loss.
+
+   Every figure family is rendered (table + CSV) under jobs = 1 and
+   jobs = 4 with the same seed and compared for byte equality. The fake
+   clock replaces [Sys.time] so the timing columns are a deterministic
+   function of the work done, not of scheduling. *)
+
+module E = Experiments.Exp_common
+module Pool = Experiments.Pool
+module Obs = Nfv_obs.Obs
+
+let () = E.install_fake_clock ()
+
+(* render every figure of a family into one string: the tables exactly as
+   the bench prints them, then each figure's CSV *)
+let render_family figs =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  E.render_all ppf figs;
+  Format.pp_print_flush ppf ();
+  List.iter (fun f -> Buffer.add_string buf (E.to_csv f)) figs;
+  Buffer.contents buf
+
+let with_jobs n f =
+  let old = Pool.get_jobs () in
+  Pool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs old) f
+
+(* small configurations: every family exercises > 1 pool point but stays
+   fast enough for CI *)
+let families =
+  [
+    ("fig5", fun () -> Experiments.Fig5.run ~seed:3 ~requests:2 ~sizes:[ 30; 50 ] ());
+    ("fig6", fun () -> Experiments.Fig6.run ~seed:3 ~requests:2 ());
+    ("fig7", fun () -> Experiments.Fig7.run ~seed:3 ~requests:10 ~sizes:[ 30; 50 ] ());
+    ("fig8", fun () -> Experiments.Fig8.run ~seed:3 ~requests:30 ~sizes:[ 30; 50 ] ());
+    ("fig9", fun () -> Experiments.Fig9.run ~seed:3 ~requests:60 ());
+    ("ablation", fun () -> Experiments.Ablation.run ~seed:3 ~requests:12 ());
+    ("dynamic", fun () -> Experiments.Dynamic_load.run ~seed:3 ~n:40 ~arrivals:40 ());
+    ("batch", fun () -> Experiments.Batch_order.run ~seed:3 ~n:30 ~sizes:[ 15; 30 ] ());
+    ("delay", fun () -> Experiments.Delay_exp.run ~seed:3 ~n:40 ~requests:20 ());
+    ("tables", fun () -> Experiments.Table_exp.run ~seed:3 ~n:40 ~requests:20 ());
+  ]
+
+let test_family_identical name run () =
+  let seq = with_jobs 1 (fun () -> render_family (run ())) in
+  let par = with_jobs 4 (fun () -> render_family (run ())) in
+  Alcotest.(check string) (name ^ " bytes jobs=1 vs jobs=4") seq par
+
+(* --- telemetry under parallelism --- *)
+
+(* integer skeleton of a snapshot: counter values, timer counts and
+   histogram counts/buckets are scheduling-independent; float sums are
+   not (addition order differs across jobs settings) and gauges are
+   last-write-wins, so both are excluded from the equality *)
+let int_skeleton snap =
+  List.filter_map
+    (fun m ->
+      match m with
+      | Obs.Export.Counter (name, v) -> Some (Printf.sprintf "c:%s=%d" name v)
+      | Obs.Export.Gauge _ -> None
+      | Obs.Export.Timer { name; count; _ } ->
+        Some (Printf.sprintf "t:%s=%d" name count)
+      | Obs.Export.Histogram { name; count; buckets; _ } ->
+        Some
+          (Printf.sprintf "h:%s=%d[%s]" name count
+             (String.concat ";" (Array.to_list (Array.map string_of_int buckets)))))
+    snap
+
+let test_telemetry_identical () =
+  let capture jobs =
+    with_jobs jobs (fun () ->
+        Obs.reset_all ();
+        Obs.enabled := true;
+        Fun.protect
+          ~finally:(fun () -> Obs.enabled := false)
+          (fun () ->
+            ignore (Experiments.Fig5.run ~seed:3 ~requests:2 ~sizes:[ 30; 50 ] ());
+            int_skeleton (Obs.Export.snapshot ())))
+  in
+  let seq = capture 1 and par = capture 4 in
+  Alcotest.(check (list string)) "integer telemetry jobs=1 vs jobs=4" seq par;
+  Alcotest.(check bool) "telemetry non-empty" true (seq <> [])
+
+(* --- Sharding unit tests (raw Domain.spawn, no pool) --- *)
+
+let test_merge_counters () =
+  Obs.reset_all ();
+  Obs.enabled := true;
+  Fun.protect ~finally:(fun () -> Obs.enabled := false) @@ fun () ->
+  let c = Obs.Counter.make "tpar.counter" in
+  Obs.Counter.add c 5;
+  let shard =
+    Domain.join
+      (Domain.spawn (fun () ->
+           let c' = Obs.Counter.make "tpar.counter" in
+           Obs.Counter.add c' 7;
+           (* the worker sees only its own contribution... *)
+           Alcotest.(check int) "worker-local view" 7 (Obs.Counter.value c');
+           Obs.Sharding.take ()))
+  in
+  (* ...and the global registry is untouched until the merge *)
+  Alcotest.(check int) "pre-merge global" 5 (Obs.Counter.value c);
+  Obs.Sharding.merge shard;
+  Alcotest.(check int) "post-merge sum" 12 (Obs.Counter.value c)
+
+let test_merge_timers () =
+  Obs.reset_all ();
+  Obs.enabled := true;
+  Fun.protect ~finally:(fun () -> Obs.enabled := false) @@ fun () ->
+  let t = Obs.Timer.make "tpar.timer" in
+  Obs.Timer.add t 1.0;
+  Obs.Timer.add t 2.0;
+  let shard =
+    Domain.join
+      (Domain.spawn (fun () ->
+           Obs.Timer.add (Obs.Timer.make "tpar.timer") 4.0;
+           Obs.Sharding.take ()))
+  in
+  Obs.Sharding.merge shard;
+  Alcotest.(check int) "count sums" 3 (Obs.Timer.count t);
+  Alcotest.check Tutil.check_float "total sums" 7.0 (Obs.Timer.total t)
+
+let test_merge_histograms () =
+  Obs.reset_all ();
+  Obs.enabled := true;
+  Fun.protect ~finally:(fun () -> Obs.enabled := false) @@ fun () ->
+  let bounds = [| 1.0; 2.0; 4.0 |] in
+  let h = Obs.Histogram.make ~bounds "tpar.hist" in
+  Obs.Histogram.observe h 0.5;
+  Obs.Histogram.observe h 3.0;
+  let shard =
+    Domain.join
+      (Domain.spawn (fun () ->
+           let h' = Obs.Histogram.make ~bounds "tpar.hist" in
+           Obs.Histogram.observe h' 0.5;
+           Obs.Histogram.observe h' 100.0;
+           Obs.Sharding.take ()))
+  in
+  Obs.Sharding.merge shard;
+  Alcotest.(check int) "count sums" 4 (Obs.Histogram.count h);
+  Alcotest.(check (array int)) "buckets add bucket-wise" [| 2; 0; 1; 1 |]
+    (Obs.Histogram.buckets h)
+
+let test_merge_worker_created () =
+  (* an instrument first seen inside a worker appears in the global
+     registry after the merge — Span.run creates histograms dynamically,
+     so this is the path every instrumented span in a worker takes *)
+  Obs.reset_all ();
+  Obs.enabled := true;
+  Fun.protect ~finally:(fun () -> Obs.enabled := false) @@ fun () ->
+  let name = "tpar.worker_only" in
+  let shard =
+    Domain.join
+      (Domain.spawn (fun () ->
+           Obs.Counter.add (Obs.Counter.make name) 3;
+           Obs.Sharding.take ()))
+  in
+  Obs.Sharding.merge shard;
+  Alcotest.(check int) "registered at merge" 3
+    (Obs.Counter.value (Obs.Counter.make name))
+
+let test_merge_gauges_last_write () =
+  Obs.reset_all ();
+  Obs.enabled := true;
+  Fun.protect ~finally:(fun () -> Obs.enabled := false) @@ fun () ->
+  let g = Obs.Gauge.make "tpar.gauge" in
+  Obs.Gauge.set g 1.0;
+  let worker v () =
+    Obs.Gauge.set (Obs.Gauge.make "tpar.gauge") v;
+    Obs.Sharding.take ()
+  in
+  let d1 = Domain.spawn (worker 2.0) in
+  let d2 = Domain.spawn (worker 3.0) in
+  let s1 = Domain.join d1 and s2 = Domain.join d2 in
+  Obs.Sharding.merge s1;
+  Obs.Sharding.merge s2;
+  (* merge order (spawn order), not completion order, decides *)
+  Alcotest.check Tutil.check_float "last merge wins" 3.0 (Obs.Gauge.value g)
+
+let test_disabled_noop () =
+  Obs.reset_all ();
+  Alcotest.(check bool) "recording off" false !Obs.enabled;
+  let c = Obs.Counter.make "tpar.disabled" in
+  Obs.Counter.add c 5;
+  let shard =
+    Domain.join
+      (Domain.spawn (fun () ->
+           Obs.Counter.add (Obs.Counter.make "tpar.disabled") 7;
+           Obs.Sharding.take ()))
+  in
+  Obs.Sharding.merge shard;
+  Alcotest.(check int) "nothing recorded anywhere" 0 (Obs.Counter.value c)
+
+(* --- pool mechanics --- *)
+
+let test_point_seed_distinct () =
+  (* different figures/indices/seeds give different streams; same triple
+     gives the same stream *)
+  let s1 = Pool.point_seed ~figure:"fig5" ~index:0 ~seed:1 in
+  let s2 = Pool.point_seed ~figure:"fig5" ~index:1 ~seed:1 in
+  let s3 = Pool.point_seed ~figure:"fig6" ~index:0 ~seed:1 in
+  let s4 = Pool.point_seed ~figure:"fig5" ~index:0 ~seed:2 in
+  Alcotest.(check bool) "index matters" true (s1 <> s2);
+  Alcotest.(check bool) "figure matters" true (s1 <> s3);
+  Alcotest.(check bool) "seed matters" true (s1 <> s4);
+  Alcotest.(check int) "deterministic" s1
+    (Pool.point_seed ~figure:"fig5" ~index:0 ~seed:1);
+  Alcotest.(check bool) "non-negative" true (s1 >= 0)
+
+let test_map_order_and_exceptions () =
+  let r =
+    Pool.map ~jobs:4 ~figure:"tpar" ~seed:1 7 (fun ~rng:_ i -> i * i)
+  in
+  Alcotest.(check (list int)) "results in point order" [ 0; 1; 4; 9; 16; 25; 36 ] r;
+  Alcotest.(check int) "empty map" 0 (List.length (Pool.map ~jobs:4 ~figure:"tpar" ~seed:1 0 (fun ~rng:_ i -> i)));
+  match
+    Pool.map ~jobs:4 ~figure:"tpar" ~seed:1 5 (fun ~rng:_ i ->
+        if i = 3 then failwith "boom" else i)
+  with
+  | _ -> Alcotest.fail "expected the worker exception to propagate"
+  | exception Failure msg -> Alcotest.(check string) "original exception" "boom" msg
+
+let test_set_jobs_validation () =
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Pool.set_jobs: negative job count") (fun () ->
+      Pool.set_jobs (-1));
+  Alcotest.(check bool) "auto >= 1" true (Pool.default_jobs () >= 1)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "byte-identity",
+        List.map
+          (fun (name, run) ->
+            Alcotest.test_case name `Slow (test_family_identical name run))
+          families );
+      ( "telemetry",
+        [
+          Alcotest.test_case "integer telemetry identical" `Slow
+            test_telemetry_identical;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "counters sum" `Quick test_merge_counters;
+          Alcotest.test_case "timers sum" `Quick test_merge_timers;
+          Alcotest.test_case "histograms add" `Quick test_merge_histograms;
+          Alcotest.test_case "worker-created instrument" `Quick
+            test_merge_worker_created;
+          Alcotest.test_case "gauges last-write" `Quick
+            test_merge_gauges_last_write;
+          Alcotest.test_case "disabled no-op" `Quick test_disabled_noop;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "point seeds" `Quick test_point_seed_distinct;
+          Alcotest.test_case "map order and exceptions" `Quick
+            test_map_order_and_exceptions;
+          Alcotest.test_case "set_jobs validation" `Quick
+            test_set_jobs_validation;
+        ] );
+    ]

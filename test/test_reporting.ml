@@ -93,6 +93,21 @@ let test_write_csv () =
   Sys.remove path;
   Sys.rmdir dir
 
+(* regression: --csv DIR with a multi-level DIR used to fail because only
+   the last path segment was created *)
+let test_write_csv_nested () =
+  let root = Filename.temp_file "nfvm" "" in
+  Sys.remove root;
+  let dir = Filename.concat (Filename.concat root "nested") "deep" in
+  let path = E.write_csv ~dir sample_figure in
+  Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+  (* idempotent on an existing tree *)
+  E.ensure_dir dir;
+  Sys.remove path;
+  Sys.rmdir dir;
+  Sys.rmdir (Filename.concat root "nested");
+  Sys.rmdir root
+
 (* --- helpers --- *)
 
 let test_mean () =
@@ -125,6 +140,7 @@ let () =
           Alcotest.test_case "csv" `Quick test_csv;
           Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
           Alcotest.test_case "write csv" `Quick test_write_csv;
+          Alcotest.test_case "write csv nested dir" `Quick test_write_csv_nested;
           Alcotest.test_case "mean" `Quick test_mean;
           Alcotest.test_case "gtitm degree" `Quick test_gtitm_degree;
         ] );
