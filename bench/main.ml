@@ -146,9 +146,43 @@ let micro_paths_benchmarks () =
   in
   run_micro_suite (Test.make_grouped ~name:"paths" tests)
 
-let write_micro_csv ~dir rows =
+(* The admission suite: the full online driver per algorithm on the
+   paper's topologies — the workload the window-scoped engine sharing
+   and Online_CP's candidate-server pruning actually speed up. Each run
+   resets the network, admits the same 100-request trace, and reports
+   ns per trace. *)
+let micro_admission_benchmarks () =
+  let open Bechamel in
+  let module Adm = Nfv_multicast.Admission in
+  let rng = Topology.Rng.create 7 in
+  let instances =
+    [
+      ("geant-n40", Experiments.Exp_common.geant_network rng);
+      ("waxman-n100", Experiments.Exp_common.network rng ~n:100);
+    ]
+  in
+  let algos =
+    [ Adm.Online_cp; Adm.Online_cp_no_threshold; Adm.Online_linear; Adm.Sp ]
+  in
+  let tests =
+    List.concat_map
+      (fun (label, net) ->
+        let reqs = Workload.Gen.sequence rng net ~count:100 in
+        List.map
+          (fun algo ->
+            let name =
+              Printf.sprintf "%s/%s" (Adm.algorithm_to_string algo) label
+            in
+            Test.make ~name
+              (Staged.stage (fun () -> ignore (Adm.run net algo reqs))))
+          algos)
+      instances
+  in
+  run_micro_suite (Test.make_grouped ~name:"admission" tests)
+
+let write_micro_csv ~dir ~file rows =
   Experiments.Exp_common.ensure_dir dir;
-  let path = Filename.concat dir "micro_paths.csv" in
+  let path = Filename.concat dir file in
   let oc = open_out path in
   output_string oc "benchmark,ns_per_run\n";
   List.iter
@@ -222,8 +256,14 @@ let () =
     print_endline "== paths suite: eager APSP vs lazy engine vs CSR Dijkstra ==";
     let rows = micro_paths_benchmarks () in
     print_micro_rows rows;
+    (match !csv_dir with
+    | Some dir -> write_micro_csv ~dir ~file:"micro_paths.csv" rows
+    | None -> ());
+    print_endline "== admission suite: Admission.run per algorithm ==";
+    let arows = micro_admission_benchmarks () in
+    print_micro_rows arows;
     match !csv_dir with
-    | Some dir -> write_micro_csv ~dir rows
+    | Some dir -> write_micro_csv ~dir ~file:"micro_admission.csv" arows
     | None -> ()
   end;
   (match !csv_dir with Some dir -> write_obs_csv ~dir | None -> ());

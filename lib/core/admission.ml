@@ -58,20 +58,21 @@ let record_of_cp net request = function
       detail = Online_cp.rejection_to_string r;
     }
 
-let decide net algo request =
+let decide ?window net algo request =
   match algo with
   | Online_cp_no_threshold ->
     let params =
       let p = Online_cp.default_params net in
       { p with Online_cp.sigma_v = infinity; sigma_e = infinity }
     in
-    record_of_cp net request (Online_cp.admit ~mode:`Exponential ~params net request)
+    record_of_cp net request
+      (Online_cp.admit ~mode:`Exponential ~params ?window net request)
   | Online_cp ->
-    record_of_cp net request (Online_cp.admit ~mode:`Exponential net request)
+    record_of_cp net request (Online_cp.admit ~mode:`Exponential ?window net request)
   | Online_linear ->
-    record_of_cp net request (Online_cp.admit ~mode:`Linear net request)
+    record_of_cp net request (Online_cp.admit ~mode:`Linear ?window net request)
   | Sp -> (
-    match Online_sp.admit net request with
+    match Online_sp.admit ?window net request with
     | Online_sp.Admitted a ->
       {
         request_id = request.Sdn.Request.id;
@@ -91,24 +92,25 @@ let decide net algo request =
 
 (* Each admit below prices the request against the network's current
    residuals; a successful allocate bumps [Sdn.Network.weight_epoch], so
-   per-request shortest-path engines are built fresh against the new
-   prices and sequential admissions never observe stale distances. *)
-let admit_tree net algo request =
+   shortest-path engines never serve stale distances — a per-run
+   [Sp_window] only lets cached trees survive while the epoch stands
+   still (request bursts that end in rejection). *)
+let admit_tree ?window net algo request =
   let of_cp = function
     | Online_cp.Admitted a -> Ok a.Online_cp.tree
     | Online_cp.Rejected r -> Error (Online_cp.rejection_to_string r)
   in
   match algo with
-  | Online_cp -> of_cp (Online_cp.admit ~mode:`Exponential net request)
-  | Online_linear -> of_cp (Online_cp.admit ~mode:`Linear net request)
+  | Online_cp -> of_cp (Online_cp.admit ~mode:`Exponential ?window net request)
+  | Online_linear -> of_cp (Online_cp.admit ~mode:`Linear ?window net request)
   | Online_cp_no_threshold ->
     let params =
       let p = Online_cp.default_params net in
       { p with Online_cp.sigma_v = infinity; sigma_e = infinity }
     in
-    of_cp (Online_cp.admit ~mode:`Exponential ~params net request)
+    of_cp (Online_cp.admit ~mode:`Exponential ~params ?window net request)
   | Sp -> (
-    match Online_sp.admit net request with
+    match Online_sp.admit ?window net request with
     | Online_sp.Admitted a -> Ok a.Online_sp.tree
     | Online_sp.Rejected msg -> Error msg)
 
@@ -128,10 +130,14 @@ let run ?(reset = true) net algo requests =
   let dij0 = Obs.Counter.value c_dijkstra_runs in
   let hits0 = Obs.Counter.value c_sp_hits in
   let misses0 = Obs.Counter.value c_sp_misses in
+  (* one engine window for the whole run: requests between two epoch
+     bumps (i.e. after a rejection) reuse each other's Dijkstra trees
+     instead of starting from a cold per-request engine *)
+  let window = Sp_window.create net in
   (* [Obs.clock] (default [Sys.time]) rather than [Sys.time] directly,
      so the determinism tests can substitute a per-domain fake clock *)
   let started = !Obs.clock () in
-  let records = List.map (decide net algo) requests in
+  let records = List.map (decide ~window net algo) requests in
   let runtime_s = !Obs.clock () -. started in
   let admitted =
     List.length (List.filter (fun (r : record) -> r.admitted) records)

@@ -39,9 +39,13 @@ type stats = {
 
 val run : ?reset:bool -> Sdn.Network.t -> algorithm -> Sdn.Request.t list -> stats
 (** Process the sequence in order. [reset] (default [true]) restores the
-    network's residuals before starting. *)
+    network's residuals before starting. The whole run shares one
+    {!Sp_window}, so consecutive requests that leave the weight epoch
+    unchanged (rejections) reuse each other's cached Dijkstra trees;
+    outcomes are identical to per-request engines (see {!Sp_window}). *)
 
 val admit_tree :
+  ?window:Sp_window.t ->
   Sdn.Network.t -> algorithm -> Sdn.Request.t -> (Pseudo_tree.t, string) result
 (** Decide one request and return the admitted pseudo-multicast tree (the
     network's residuals are reduced), or the rejection reason. Used by

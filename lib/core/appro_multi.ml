@@ -30,11 +30,28 @@ let observe span ~ok ~err f =
 
 let default_k = 3
 
-let candidates ?(k = default_k) ?edge_weight ?placement_cost ~keep
+(* Engine sharing across a window is keyed per Sp_window's exactness
+   contract: the default base weights are [b_k · c_e] (so the bandwidth's
+   float bits go into the family) pruned by [link_admits _ b_k] (covered
+   by the feasibility bucket). Callers overriding [edge_weight] or
+   [placement_cost] never reach this path — they keep private engines. *)
+let acquire_engine window ~bandwidth ~capacitated =
+  Option.map
+    (fun w ->
+      let bits = Int64.to_string (Int64.bits_of_float bandwidth) in
+      let family, bucket =
+        if capacitated then
+          ("appro.cap:" ^ bits, Sp_window.bucket w ~bandwidth)
+        else ("appro.all:" ^ bits, -1)
+      in
+      fun ~weight -> Sp_window.engine w ~family ~bucket ~weight)
+    window
+
+let candidates_impl ?(k = default_k) ?engine ?edge_weight ?placement_cost ~keep
     ~usable_servers net request =
   if k < 1 then invalid_arg "Appro_multi: K must be at least 1";
   let aux =
-    Aux_graph.build ~keep ?edge_weight ?placement_cost ~net ~request
+    Aux_graph.build ~keep ?edge_weight ?placement_cost ?engine ~net ~request
       ~candidate_servers:usable_servers ()
   in
   let reachable = Aux_graph.reachable_servers aux in
@@ -62,11 +79,16 @@ let combinations_explored ?k aux =
     (List.length (Aux_graph.reachable_servers aux))
     (Option.value k ~default:default_k)
 
-let solve_with ?k ~keep ~usable_servers net request =
+let candidates ?k ?edge_weight ?placement_cost ~keep ~usable_servers net
+    request =
+  candidates_impl ?k ?edge_weight ?placement_cost ~keep ~usable_servers net
+    request
+
+let solve_with ?k ?engine ~keep ~usable_servers net request =
   observe "appro_multi.solve" ~ok:c_solved ~err:c_infeasible @@ fun () ->
   if usable_servers = [] then Error "no usable server"
   else
-    match candidates ?k ~keep ~usable_servers net request with
+    match candidates_impl ?k ?engine ~keep ~usable_servers net request with
     | [] -> Error "no feasible pseudo-multicast tree"
     | (aux_cost, subset, aux, edges) :: _ ->
       let tree = Aux_graph.to_pseudo_tree aux edges in
@@ -80,9 +102,13 @@ let solve_with ?k ~keep ~usable_servers net request =
           combinations;
         }
 
-let solve ?k net request =
-  solve_with ?k ~keep:(fun _ -> true) ~usable_servers:(Sdn.Network.servers net)
-    net request
+let solve ?k ?window net request =
+  let engine =
+    acquire_engine window ~bandwidth:request.Sdn.Request.bandwidth
+      ~capacitated:false
+  in
+  solve_with ?k ?engine ~keep:(fun _ -> true)
+    ~usable_servers:(Sdn.Network.servers net) net request
 
 let capacitated_filters net request =
   let b = request.Sdn.Request.bandwidth in
@@ -93,16 +119,24 @@ let capacitated_filters net request =
   in
   (keep, usable)
 
-let solve_capacitated ?k net request =
+let solve_capacitated ?k ?window net request =
   let keep, usable = capacitated_filters net request in
-  solve_with ?k ~keep ~usable_servers:usable net request
+  let engine =
+    acquire_engine window ~bandwidth:request.Sdn.Request.bandwidth
+      ~capacitated:true
+  in
+  solve_with ?k ?engine ~keep ~usable_servers:usable net request
 
-let admit ?k net request =
+let admit ?k ?window net request =
   observe "appro_multi.admit" ~ok:c_admitted ~err:c_rejected @@ fun () ->
   let keep, usable = capacitated_filters net request in
   if usable = [] then Error "no usable server"
   else begin
-    let cands = candidates ?k ~keep ~usable_servers:usable net request in
+    let engine =
+      acquire_engine window ~bandwidth:request.Sdn.Request.bandwidth
+        ~capacitated:true
+    in
+    let cands = candidates_impl ?k ?engine ~keep ~usable_servers:usable net request in
     let rec try_cands = function
       | [] -> Error "no allocatable pseudo-multicast tree"
       | (aux_cost, subset, aux, edges) :: rest -> (

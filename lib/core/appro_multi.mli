@@ -25,17 +25,26 @@ type result = {
                              report the same quantity. *)
 }
 
-val solve : ?k:int -> Sdn.Network.t -> Sdn.Request.t -> (result, string) Stdlib.result
+val solve :
+  ?k:int -> ?window:Sp_window.t -> Sdn.Network.t -> Sdn.Request.t ->
+  (result, string) Stdlib.result
 (** Uncapacitated [Appro_Multi] with at most [k] (default 3, as in the
-    paper's evaluation) servers per request. *)
+    paper's evaluation) servers per request. [?window] shares the base
+    shortest-path engine across requests of equal bandwidth (the default
+    weights are [b_k·c_e], so the bandwidth keys the engine family) —
+    results are identical to the default private engine. *)
 
 val solve_capacitated :
-  ?k:int -> Sdn.Network.t -> Sdn.Request.t -> (result, string) Stdlib.result
+  ?k:int -> ?window:Sp_window.t -> Sdn.Network.t -> Sdn.Request.t ->
+  (result, string) Stdlib.result
 (** [Appro_Multi_Cap]: links without residual bandwidth [b_k] and servers
     without residual computing [C(SC_k)] are pruned before running
-    Algorithm 1. Does not allocate. *)
+    Algorithm 1. Does not allocate. [?window] as in {!solve}, with the
+    capacity pruning folded into the engine key. *)
 
-val admit : ?k:int -> Sdn.Network.t -> Sdn.Request.t -> (result, string) Stdlib.result
+val admit :
+  ?k:int -> ?window:Sp_window.t -> Sdn.Network.t -> Sdn.Request.t ->
+  (result, string) Stdlib.result
 (** [solve_capacitated] followed by an atomic allocation of the winning
     tree's resources. Candidate combinations are tried in cost order
     until one fits (a tree may need [2·b_k] on an edge it traverses

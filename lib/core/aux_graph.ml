@@ -21,8 +21,8 @@ type t = {
 
 let base_weight t e = if t.keep e then t.edge_weight e else infinity
 
-let build ?(keep = fun _ -> true) ?edge_weight ?placement_cost ~net ~request
-    ~candidate_servers () =
+let build ?(keep = fun _ -> true) ?edge_weight ?placement_cost ?engine ~net
+    ~request ~candidate_servers () =
   let g = Sdn.Network.graph net in
   let nn = G.n g and mm = G.m g in
   let ext = G.create (nn + 1) in
@@ -50,10 +50,15 @@ let build ?(keep = fun _ -> true) ?edge_weight ?placement_cost ~net ~request
   (* lazy per-source engine instead of eager all-pairs: only the request
      source, the candidate servers and the queried destinations ever get
      a Dijkstra tree. Bound to the network's weight epoch so residual-
-     dependent [keep]/[edge_weight] closures invalidate after allocate *)
+     dependent [keep]/[edge_weight] closures invalidate after allocate.
+     A caller that can prove weight-function equality across requests
+     (Appro_multi over an Sp_window) acquires a shared engine instead. *)
   let engine =
-    Sp.create g ~weight:pruned_weight
-      ~epoch:(fun () -> Sdn.Network.weight_epoch net)
+    match engine with
+    | Some acquire -> acquire ~weight:pruned_weight
+    | None ->
+      Sp.create g ~weight:pruned_weight
+        ~epoch:(fun () -> Sdn.Network.weight_epoch net)
   in
   let t =
     {

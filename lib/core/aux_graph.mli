@@ -24,6 +24,7 @@ val build :
   ?keep:(int -> bool) ->
   ?edge_weight:(int -> float) ->
   ?placement_cost:(int -> float) ->
+  ?engine:(weight:(int -> float) -> Mcgraph.Sp_engine.t) ->
   net:Sdn.Network.t ->
   request:Sdn.Request.t ->
   candidate_servers:int list ->
@@ -34,7 +35,11 @@ val build :
     with exponential weights for online use); [placement_cost] prices a
     server (default [c_v(SC_k)]). [candidate_servers] are the servers
     considered for hosting the chain (already filtered for computing
-    capacity by the caller). *)
+    capacity by the caller). [engine] lets the caller supply the
+    shortest-path engine for the pruned base weights instead of a
+    private one — used to share a window-scoped engine across requests;
+    the supplied engine must answer exactly as a fresh engine over
+    [weight] would (the {!Sp_window} contract). *)
 
 val ext_graph : t -> Mcgraph.Graph.t
 (** Base graph plus virtual node and virtual edges; base edge ids are

@@ -22,7 +22,7 @@ type result = {
 let footprint r =
   r.Sdn.Request.bandwidth *. float_of_int (Sdn.Request.terminal_count r)
 
-let reorder ?k net requests = function
+let reorder ?k ?window net requests = function
   | Arrival -> requests
   | Smallest_first ->
     List.stable_sort (fun a b -> compare (footprint a) (footprint b)) requests
@@ -33,7 +33,7 @@ let reorder ?k net requests = function
       List.map
         (fun r ->
           let price =
-            match Appro_multi.solve ?k net r with
+            match Appro_multi.solve ?k ?window net r with
             | Ok res -> res.Appro_multi.cost
             | Error _ -> infinity
           in
@@ -43,14 +43,23 @@ let reorder ?k net requests = function
     List.map snd (List.stable_sort (fun (a, _) (b, _) -> compare a b) priced)
 
 let plan ?k ?(reset = true) net requests order =
-  (* price before any allocation so Cheapest_first sees the idle network *)
-  let ordered = reorder ?k net requests order in
+  (* Reset strictly before pricing: Cheapest_first's solves must see the
+     idle network, not whatever residuals the previous run left behind
+     (they used to run first, making the promised idle-network pricing a
+     lie whenever [plan] followed another run on the same network). With
+     [~reset:false] the caller deliberately keeps the current residuals,
+     and pricing sees exactly those. *)
   if reset then Sdn.Network.reset net;
+  (* one engine window across pricing and admission: every Cheapest_first
+     solve runs before the first allocation, so same-bandwidth requests
+     share cached Dijkstra trees for the whole pricing pass *)
+  let window = Sp_window.create net in
+  let ordered = reorder ?k ~window net requests order in
   let admitted = ref 0 and rejected = ref 0 and total = ref 0.0 in
   let trees = ref [] in
   List.iter
     (fun r ->
-      match Appro_multi.admit ?k net r with
+      match Appro_multi.admit ?k ~window net r with
       | Ok res ->
         incr admitted;
         total := !total +. res.Appro_multi.cost;

@@ -28,7 +28,12 @@ val plan :
   ?k:int -> ?reset:bool -> Sdn.Network.t -> Sdn.Request.t list -> order ->
   result
 (** Resets the network (unless [reset:false]), reorders the batch, and
-    admits greedily with [Appro_Multi_Cap]. *)
+    admits greedily with [Appro_Multi_Cap]. The reset happens {e before}
+    ordering, so [Cheapest_first] prices against the idle network; with
+    [reset:false] ordering and admission both run against the network's
+    current residuals (the caller owns that state). The whole plan —
+    pricing and admission — shares one {!Sp_window} of cached
+    shortest-path trees. *)
 
 val compare_orders :
   ?k:int -> Sdn.Network.t -> Sdn.Request.t list -> (order * result) list

@@ -12,8 +12,16 @@ let c_relaxations = Obs.Counter.make "online_cp.relaxations"
 let c_admitted = Obs.Counter.make "online_cp.admitted"
 let c_rej_no_server = Obs.Counter.make "online_cp.rejected.no_feasible_server"
 let c_rej_unreachable = Obs.Counter.make "online_cp.rejected.unreachable"
+let c_rej_server_unreachable =
+  Obs.Counter.make "online_cp.rejected.server_unreachable"
 let c_rej_threshold = Obs.Counter.make "online_cp.rejected.over_threshold"
 let c_rej_unallocatable = Obs.Counter.make "online_cp.rejected.unallocatable"
+
+(* candidate-server pruning: servers whose distance lower bound lost to
+   the incumbent and were never priced (KMB skipped), vs. servers priced
+   late because the allocation fallback reached their bound after all *)
+let c_pruned = Obs.Counter.make "online_cp.pruned.servers"
+let c_pruned_late = Obs.Counter.make "online_cp.pruned.computed_late"
 
 type params = {
   alpha : float;
@@ -30,12 +38,15 @@ let default_params net =
 type rejection =
   | No_feasible_server
   | Unreachable
+  | Server_unreachable
   | Over_threshold
   | Unallocatable
 
 let rejection_to_string = function
   | No_feasible_server -> "no server with enough computing residual"
   | Unreachable -> "destinations unreachable under bandwidth residuals"
+  | Server_unreachable ->
+    "destinations reachable but every usable server is not"
   | Over_threshold -> "all candidates above admission thresholds"
   | Unallocatable -> "no candidate tree could reserve its resources"
 
@@ -50,13 +61,44 @@ type outcome = Admitted of admitted | Rejected of rejection
 
 type candidate = {
   cand_server : int;
+  cand_pos : int;             (* index in the usable-server order *)
   cand_tree : int list;
   cand_backtrack : int list;  (* edges of the v → u return path *)
   cand_lca : int;
   cand_score : float;
 }
 
-let admit_impl ~mode ~params net request =
+(* a server that survived the cheap checks but whose pricing (KMB tree)
+   is deferred behind the incumbent bound *)
+type pending = { p_pos : int; p_server : int; p_wv : float; p_bound : float }
+
+(* Candidates used to be accumulated front-first over the usable order
+   and stably sorted by score, so equal scores ranked by *descending*
+   usable position; the explicit comparator preserves that tie-break now
+   that pruning computes candidates out of order. *)
+let cand_order a b =
+  let c = compare a.cand_score b.cand_score in
+  if c <> 0 then c else compare b.cand_pos a.cand_pos
+
+let pending_order a b =
+  let c = compare a.p_bound b.p_bound in
+  if c <> 0 then c else compare b.p_pos a.p_pos
+
+let min_by order = function
+  | [] -> invalid_arg "Online_cp.min_by: empty"
+  | x :: rest ->
+    List.fold_left (fun m y -> if order y m < 0 then y else m) x rest
+
+(* The pruning bound [dist s v + w_v] is a true lower bound on the
+   candidate score [w_tree + w_back + w_v] in exact arithmetic (the KMB
+   tree connects s and v, so w_tree ≥ dist s v, and w_back ≥ 0), but
+   both sides are float sums taken in different orders; a relative slack
+   absorbs that ULP drift so no candidate the exact bound would keep is
+   ever skipped. The sliver of extra work is a few spurious KMB runs,
+   never a changed outcome. *)
+let slack x = x +. (1e-9 *. Float.max 1.0 (Float.abs x))
+
+let admit_impl ~mode ~params ~window ~prune net request =
   let params =
     match params with Some p -> p | None -> default_params net
   in
@@ -64,16 +106,17 @@ let admit_impl ~mode ~params net request =
   let b = request.Sdn.Request.bandwidth in
   let s = request.Sdn.Request.source in
   let demand = Sdn.Request.demand_mhz request in
-  (* At zero load every exponential weight is exactly 0, which makes all
-     trees tie and routing hop-oblivious; a tiny per-edge epsilon breaks
-     ties toward fewer hops without affecting the thresholds. *)
+  (* At zero load the exponential weights are exactly 0 and the linear
+     unit costs are uniform on many topologies, which makes trees tie and
+     routing hop-oblivious; a tiny per-edge epsilon breaks ties toward
+     fewer hops in both modes without affecting the thresholds. *)
   let hop_epsilon = 1e-6 in
   let link_w e =
     if not (Sdn.Network.link_admits net e b) then infinity
     else
       match mode with
       | `Exponential -> Cost_model.link_weight net ~base:params.beta e +. hop_epsilon
-      | `Linear -> Cost_model.linear_link_weight net e
+      | `Linear -> Cost_model.linear_link_weight net e +. hop_epsilon
   in
   let server_w v =
     match mode with
@@ -89,24 +132,46 @@ let admit_impl ~mode ~params net request =
     (* one lazy Dijkstra per terminal, shared by every candidate server;
        the engine is keyed by the network's weight epoch, so the
        load-dependent exponential weights invalidate on allocate/release
-       rather than the caller rebuilding state from scratch *)
+       rather than the caller rebuilding state from scratch. When the
+       caller runs a whole admission window, the engine itself is shared
+       across requests of the same weight class (Sp_window's exactness
+       contract), so a request following a rejection reuses cached trees
+       instead of starting cold. *)
     let terminals = List.sort_uniq compare (s :: request.Sdn.Request.destinations) in
     let eng =
-      Sp.create g ~weight:link_w
-        ~epoch:(fun () -> Sdn.Network.weight_epoch net)
+      match window with
+      | Some w ->
+        let family =
+          match mode with
+          | `Exponential ->
+            (* the exponential weights read [beta]; fold its bits into
+               the key so different params never share an engine *)
+            "online_cp.exp:" ^ Int64.to_string (Int64.bits_of_float params.beta)
+          | `Linear -> "online_cp.lin"
+        in
+        Sp_window.engine w ~family
+          ~bucket:(Sp_window.bucket w ~bandwidth:b)
+          ~weight:link_w
+      | None ->
+        Sp.create g ~weight:link_w
+          ~epoch:(fun () -> Sdn.Network.weight_epoch net)
     in
     List.iter (fun t -> ignore (Sp.spt eng t)) terminals;
     (* non-terminal sources (candidate servers) answer from the terminal
-       end's tree by symmetry, so servers never cost a Dijkstra *)
+       end's tree by symmetry, so servers never cost a Dijkstra. The
+       split is on membership in *this* request's terminal set, not on
+       what the engine happens to have cached: a shared engine may hold
+       trees for other requests' terminals, and answering from those
+       would pick different (equal-cost) paths than the per-request
+       engine did. *)
+    let is_terminal x = List.mem x terminals in
     let dist x y =
-      match Sp.peek eng x with
-      | Some spt -> spt.Paths.dist.(y)
-      | None -> (Sp.spt eng y).Paths.dist.(x)
+      if is_terminal x then (Sp.spt eng x).Paths.dist.(y)
+      else (Sp.spt eng y).Paths.dist.(x)
     in
     let path x y =
-      match Sp.peek eng x with
-      | Some spt -> Paths.path_edges g spt y
-      | None -> Option.map List.rev (Paths.path_edges g (Sp.spt eng y) x)
+      if is_terminal x then Paths.path_edges g (Sp.spt eng x) y
+      else Option.map List.rev (Paths.path_edges g (Sp.spt eng y) x)
     in
     let reachable =
       let spt_s = Sp.spt eng s in
@@ -117,92 +182,162 @@ let admit_impl ~mode ~params net request =
     if not reachable then Rejected Unreachable
     else begin
       let saw_threshold_violation = ref false in
-      let consider acc v =
+      let saw_server_unreachable = ref false in
+      (* cheap screening pass: node threshold and source-to-server
+         reachability (an O(1) read off s's tree). The expensive part —
+         the KMB tree and the backtrack — is deferred per server. *)
+      let screen pos v =
         let wv = server_w v in
         if thresholds_on && wv >= params.sigma_v then begin
           saw_threshold_violation := true;
-          acc
+          None
         end
-        else if dist s v = infinity then acc
         else begin
-          let terms = List.sort_uniq compare (v :: terminals) in
-          match
-            Mcgraph.Steiner.kmb_with_metric g ~weight:link_w ~terminals:terms
-              ~dist ~path
-          with
-          | None -> acc
-          | Some tree_edges ->
-            let w_tree = Mcgraph.Steiner.tree_cost ~weight:link_w tree_edges in
-            if thresholds_on && w_tree >= params.sigma_e then begin
-              saw_threshold_violation := true;
-              acc
-            end
-            else begin
-              let rooted = Tree.of_edges g ~root:s tree_edges in
-              let u = Tree.lca_many rooted (v :: request.Sdn.Request.destinations) in
-              let backtrack = Tree.path_up rooted v ~ancestor:u in
-              let w_back = Mcgraph.Steiner.tree_cost ~weight:link_w backtrack in
-              let score = w_tree +. w_back +. wv in
+          let dsv = dist s v in
+          if dsv = infinity then begin
+            saw_server_unreachable := true;
+            None
+          end
+          else Some { p_pos = pos; p_server = v; p_wv = wv; p_bound = dsv +. wv }
+        end
+      in
+      let screened = List.filter_map Fun.id (List.mapi screen usable) in
+      let compute p =
+        let v = p.p_server in
+        let terms = List.sort_uniq compare (v :: terminals) in
+        match
+          Mcgraph.Steiner.kmb_with_metric g ~weight:link_w ~terminals:terms
+            ~dist ~path
+        with
+        | None -> None
+        | Some tree_edges ->
+          let w_tree = Mcgraph.Steiner.tree_cost ~weight:link_w tree_edges in
+          if thresholds_on && w_tree >= params.sigma_e then begin
+            saw_threshold_violation := true;
+            None
+          end
+          else begin
+            let rooted = Tree.of_edges g ~root:s tree_edges in
+            let u = Tree.lca_many rooted (v :: request.Sdn.Request.destinations) in
+            let backtrack = Tree.path_up rooted v ~ancestor:u in
+            let w_back = Mcgraph.Steiner.tree_cost ~weight:link_w backtrack in
+            let score = w_tree +. w_back +. p.p_wv in
+            Some
               {
                 cand_server = v;
+                cand_pos = p.p_pos;
                 cand_tree = tree_edges;
                 cand_backtrack = backtrack;
                 cand_lca = u;
                 cand_score = score;
               }
-              :: acc
-            end
-        end
+          end
       in
-      let cands = List.fold_left consider [] usable in
-      match cands with
-      | [] ->
-        if !saw_threshold_violation then Rejected Over_threshold
-        else Rejected Unreachable
-      | _ ->
-        let sorted =
-          List.sort (fun a b -> compare a.cand_score b.cand_score) cands
+      (* price servers in usable order, skipping any whose lower bound
+         already loses to the best complete candidate so far; the
+         incumbent only improves, so a deferred server's bound also
+         exceeds the final best score *)
+      let computed = ref [] in
+      let deferred = ref [] in
+      let incumbent = ref infinity in
+      List.iter
+        (fun p ->
+          if prune && p.p_bound > slack !incumbent then
+            deferred := p :: !deferred
+          else
+            match compute p with
+            | None -> ()
+            | Some c ->
+              if c.cand_score < !incumbent then incumbent := c.cand_score;
+              computed := c :: !computed)
+        screened;
+      let try_alloc c =
+        let v = c.cand_server in
+        let rooted = Tree.of_edges g ~root:s c.cand_tree in
+        let to_server = List.rev (Tree.path_up rooted v ~ancestor:s) in
+        let route_of d =
+          (* the processed copy climbs only to LCA(v, d) — a prefix of
+             the reserved v → u backtrack — before descending, so no
+             edge carries more traffic than Algorithm 2 accounts for *)
+          let onward = Tree.path_between rooted v d in
+          (d, { Pseudo_tree.to_server; server = v; onward })
         in
-        let rec try_cands = function
+        let routes = List.map route_of request.Sdn.Request.destinations in
+        let tree =
+          Pseudo_tree.make ~request ~servers:[ v ]
+            ~edge_uses:
+              (Pseudo_tree.edge_uses_of_list (c.cand_tree @ c.cand_backtrack))
+            ~routes
+        in
+        match Sdn.Network.allocate net (Pseudo_tree.allocation tree) with
+        | Ok () ->
+          Some (Admitted { tree; server = v; lca = c.cand_lca; score = c.cand_score })
+        | Error _ -> None
+      in
+      (* Walk candidates in score order (ties by the historical order,
+         see [cand_order]) attempting allocation, materialising deferred
+         servers whenever their bound says they could still rank at or
+         before the current front-runner. Failed allocations have no
+         side effects, so skipping servers that would only have been
+         failed attempts is unobservable. *)
+      let rec select computed deferred =
+        match computed with
+        | [] -> (
+          match deferred with
           | [] -> Rejected Unallocatable
-          | c :: rest -> (
-            let v = c.cand_server in
-            let rooted = Tree.of_edges g ~root:s c.cand_tree in
-            let to_server = List.rev (Tree.path_up rooted v ~ancestor:s) in
-            let route_of d =
-              (* the processed copy climbs only to LCA(v, d) — a prefix of
-                 the reserved v → u backtrack — before descending, so no
-                 edge carries more traffic than Algorithm 2 accounts for *)
-              let onward = Tree.path_between rooted v d in
-              (d, { Pseudo_tree.to_server; server = v; onward })
-            in
-            let routes = List.map route_of request.Sdn.Request.destinations in
-            let tree =
-              Pseudo_tree.make ~request ~servers:[ v ]
-                ~edge_uses:
-                  (Pseudo_tree.edge_uses_of_list (c.cand_tree @ c.cand_backtrack))
-                ~routes
-            in
-            match Sdn.Network.allocate net (Pseudo_tree.allocation tree) with
-            | Ok () ->
-              Admitted { tree; server = v; lca = c.cand_lca; score = c.cand_score }
-            | Error _ -> try_cands rest)
-        in
-        try_cands sorted
+          | _ ->
+            (* the fallback chain outlived every priced candidate;
+               materialise the most promising deferred server *)
+            let next = min_by pending_order deferred in
+            let deferred = List.filter (fun p -> p.p_pos <> next.p_pos) deferred in
+            Obs.Counter.incr c_pruned_late;
+            (match compute next with
+            | None -> select [] deferred
+            | Some c -> select [ c ] deferred))
+        | _ -> (
+          let best = min_by cand_order computed in
+          let ready, still =
+            List.partition (fun p -> p.p_bound <= slack best.cand_score) deferred
+          in
+          if ready <> [] then begin
+            List.iter (fun _ -> Obs.Counter.incr c_pruned_late) ready;
+            let newly = List.filter_map compute ready in
+            select (newly @ computed) still
+          end
+          else
+            match try_alloc best with
+            | Some outcome ->
+              Obs.Counter.add c_pruned (List.length deferred);
+              outcome
+            | None ->
+              select
+                (List.filter (fun c -> c.cand_pos <> best.cand_pos) computed)
+                deferred)
+      in
+      match !computed with
+      | [] ->
+        (* nothing priced ⟹ nothing deferred (no incumbent, no pruning),
+           so the attribution below sees the complete picture *)
+        if !saw_threshold_violation then Rejected Over_threshold
+        else if screened = [] && !saw_server_unreachable then
+          Rejected Server_unreachable
+        else Rejected Unreachable
+      | cands -> select cands !deferred
     end
   end
 
-let admit ?(mode = `Exponential) ?params net request =
+let admit ?(mode = `Exponential) ?params ?window ?(prune = true) net request =
   Obs.Span.run "online_cp.admit" @@ fun () ->
   let runs0 = Obs.Counter.value c_dijkstra_runs in
   let relax0 = Obs.Counter.value c_dijkstra_relax in
-  let outcome = admit_impl ~mode ~params net request in
+  let outcome = admit_impl ~mode ~params ~window ~prune net request in
   Obs.Counter.add c_dijkstras (Obs.Counter.value c_dijkstra_runs - runs0);
   Obs.Counter.add c_relaxations (Obs.Counter.value c_dijkstra_relax - relax0);
   (match outcome with
   | Admitted _ -> Obs.Counter.incr c_admitted
   | Rejected No_feasible_server -> Obs.Counter.incr c_rej_no_server
   | Rejected Unreachable -> Obs.Counter.incr c_rej_unreachable
+  | Rejected Server_unreachable -> Obs.Counter.incr c_rej_server_unreachable
   | Rejected Over_threshold -> Obs.Counter.incr c_rej_threshold
   | Rejected Unallocatable -> Obs.Counter.incr c_rej_unallocatable);
   outcome

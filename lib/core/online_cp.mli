@@ -25,6 +25,10 @@ val default_params : Sdn.Network.t -> params
 type rejection =
   | No_feasible_server   (** Case 1: computing residual insufficient everywhere *)
   | Unreachable          (** Case 2: no tree under the bandwidth residuals *)
+  | Server_unreachable
+      (** Case 2': destinations reachable from the source, but no usable
+          server is — previously misreported as {!Unreachable}, which
+          corrupted the [online_cp.rejected.*] attribution *)
   | Over_threshold       (** Case 3: every candidate violated σ_v or σ_e *)
   | Unallocatable        (** trees found but none could atomically reserve *)
 
@@ -42,8 +46,25 @@ type outcome = Admitted of admitted | Rejected of rejection
 val admit :
   ?mode:[ `Exponential | `Linear ] ->
   ?params:params ->
+  ?window:Sp_window.t ->
+  ?prune:bool ->
   Sdn.Network.t ->
   Sdn.Request.t ->
   outcome
 (** Decide one request; on admission the network's residuals are
-    reduced by the tree's allocation. *)
+    reduced by the tree's allocation.
+
+    [?window] (default: a private per-request engine) lets an admission
+    run share shortest-path engines across requests — cached Dijkstra
+    trees survive from one admit to the next as long as the weight epoch
+    does not move (see {!Sp_window} for why this is exact).
+
+    [?prune] (default [true]) enables incumbent-based candidate-server
+    pruning: usable servers are screened by the lower bound
+    [dist s v + w_v] and only priced (KMB tree + backtrack) when the
+    bound could still beat the best complete candidate. The bound is a
+    true lower bound on the candidate score, so pruning is exact — the
+    admitted tree, the allocation, and the rejection reason are
+    identical with pruning on or off; only the [online_cp.pruned.*]
+    telemetry and the amount of work differ. [?prune:false] exists for
+    the equivalence tests and A/B telemetry. *)

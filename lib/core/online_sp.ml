@@ -25,7 +25,7 @@ type candidate = {
   cand_hops : int;
 }
 
-let admit_impl net request =
+let admit_impl ~window net request =
   let g = Sdn.Network.graph net in
   let b = request.Sdn.Request.bandwidth in
   let s = request.Sdn.Request.source in
@@ -36,8 +36,16 @@ let admit_impl net request =
   in
   if usable = [] then Rejected "no server with enough computing residual"
   else begin
+    (* unit weights are fully determined by the feasibility pruning, so
+       the bandwidth bucket alone keys the engine within a window *)
     let eng =
-      Sp.create g ~weight ~epoch:(fun () -> Sdn.Network.weight_epoch net)
+      match window with
+      | Some w ->
+        Sp_window.engine w ~family:"online_sp"
+          ~bucket:(Sp_window.bucket w ~bandwidth:b)
+          ~weight
+      | None ->
+        Sp.create g ~weight ~epoch:(fun () -> Sdn.Network.weight_epoch net)
     in
     let consider acc v =
       let spt = Sp.spt eng v in
@@ -97,11 +105,11 @@ let admit_impl net request =
       try_cands sorted
   end
 
-let admit net request =
+let admit ?window net request =
   Obs.Span.run "online_sp.admit" @@ fun () ->
   let runs0 = Obs.Counter.value c_dijkstra_runs in
   let relax0 = Obs.Counter.value c_dijkstra_relax in
-  let outcome = admit_impl net request in
+  let outcome = admit_impl ~window net request in
   Obs.Counter.add c_dijkstras (Obs.Counter.value c_dijkstra_runs - runs0);
   Obs.Counter.add c_relaxations (Obs.Counter.value c_dijkstra_relax - relax0);
   (match outcome with

@@ -15,6 +15,8 @@ type admitted = {
 
 type outcome = Admitted of admitted | Rejected of string
 
-val admit : Sdn.Network.t -> Sdn.Request.t -> outcome
+val admit : ?window:Sp_window.t -> Sdn.Network.t -> Sdn.Request.t -> outcome
 (** Decide one request; on admission the network's residuals are
-    reduced. *)
+    reduced. [?window] shares the per-server shortest-path trees across
+    the requests of an admission run (exact — see {!Sp_window}); by
+    default every call builds a private engine. *)

@@ -25,7 +25,7 @@ type stats = {
 
 type t = {
   graph : Graph.t;
-  weight : int -> float;
+  mutable weight : int -> float;   (* swappable via [renew] *)
   epoch : unit -> int;
   cache : Paths.spt option array;   (* per-source tree, or None *)
   mutable valid_epoch : int;        (* epoch every cached tree was built at *)
@@ -96,6 +96,15 @@ let spt t source =
 let peek t source =
   refresh t;
   t.cache.(source)
+
+(* Re-arm a long-lived engine for a new caller-supplied weight closure.
+   Sweeping first (via [refresh]) means cached trees survive only when
+   the epoch is unchanged — exactly the case where the caller guarantees
+   the new closure is extensionally equal to the old one, so the
+   surviving trees are still correct. *)
+let renew t ~weight =
+  refresh t;
+  t.weight <- weight
 
 let dist t u v = (spt t u).Paths.dist.(v)
 

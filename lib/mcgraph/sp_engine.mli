@@ -87,6 +87,20 @@ val path : t -> int -> int -> int list option
 val path_nodes : t -> int -> int -> int list option
 (** Nodes of the same path, starting with [u]. *)
 
+val renew : t -> weight:(int -> float) -> unit
+(** [renew t ~weight] re-arms a long-lived engine for a new weight
+    closure: if the epoch moved since the cached trees were built they
+    are all swept first (counting as invalidations/evictions, exactly as
+    a lookup-time sweep would), then [weight] replaces the engine's
+    closure. {b Contract:} when the epoch has {e not} moved, the caller
+    must guarantee the new closure is extensionally equal to the one it
+    replaces — surviving cached trees are served unchanged. This is what
+    lets an admission window keep one engine per weight class across
+    requests: closures capture per-request state (e.g. the request's
+    bandwidth), but as long as the window keys engines so that equal key
+    + equal epoch ⇒ equal weights, [renew] is exact. Used by
+    [Nfv_multicast.Sp_window]. *)
+
 val invalidate : t -> unit
 (** Drop every cached tree regardless of epoch; each dropped tree counts
     as an invalidation in {!stats}. *)

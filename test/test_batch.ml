@@ -66,6 +66,54 @@ let prop_capacity_safe =
       done;
       !ok)
 
+(* --- regression: ordering vs reset, and reset:false semantics ---------- *)
+
+let plan_fingerprint (r : B.result) =
+  ((r.B.admitted, r.B.rejected), (r.B.total_cost, List.map fst r.B.trees))
+
+let fingerprint_t =
+  Alcotest.(pair (pair int int) (pair (float 0.0) (list int)))
+
+(* [plan] used to run Cheapest_first's pricing solves *before* the
+   network reset, so leftover residuals from an earlier run could leak
+   into the promised idle-network prices. Pricing must see the reset
+   state: a polluted network and a fresh twin must produce the same
+   plan, bit for bit. *)
+let test_cheapest_pricing_sees_reset_state () =
+  let net1, reqs1 = mk 9 30 in
+  let net2, reqs2 = mk 9 30 in
+  (* pollute net1 with a run under another policy, then replan *)
+  ignore (B.plan ~k:2 net1 reqs1 B.Largest_first);
+  let polluted = B.plan ~k:2 net1 reqs1 B.Cheapest_first in
+  let fresh = B.plan ~k:2 net2 reqs2 B.Cheapest_first in
+  Alcotest.check fingerprint_t
+    "identical plan from polluted and fresh networks"
+    (plan_fingerprint fresh) (plan_fingerprint polluted)
+
+let test_reset_false_plans_against_residuals () =
+  let net, reqs = mk 10 20 in
+  (* drain every link: nothing can be admitted against these residuals *)
+  for e = 0 to N.m net - 1 do
+    match N.allocate net { N.links = [ (e, N.link_residual net e) ]; nodes = [] } with
+    | Ok () -> ()
+    | Error err -> Alcotest.failf "drain: %s" err
+  done;
+  let starved = B.plan ~k:2 ~reset:false net reqs B.Cheapest_first in
+  Alcotest.(check int) "reset:false keeps the drained residuals" 0
+    starved.B.admitted;
+  (* the default reset restores capacity — and therefore admissions *)
+  let recovered = B.plan ~k:2 net reqs B.Cheapest_first in
+  Alcotest.(check bool) "default reset recovers capacity" true
+    (recovered.B.admitted > 0)
+
+let test_plan_deterministic_across_twins () =
+  let net1, reqs1 = mk 11 35 in
+  let net2, reqs2 = mk 11 35 in
+  let r1 = B.plan ~k:2 net1 reqs1 B.Cheapest_first in
+  let r2 = B.plan ~k:2 net2 reqs2 B.Cheapest_first in
+  Alcotest.check fingerprint_t
+    "twin networks, twin plans" (plan_fingerprint r1) (plan_fingerprint r2)
+
 (* the packing-order advantage is statistical, not per-draw: aggregate
    over several fixed seeds *)
 let test_smallest_beats_largest_in_aggregate () =
@@ -91,6 +139,15 @@ let () =
           Alcotest.test_case "trees valid" `Quick test_plan_trees_valid;
           Alcotest.test_case "compare_orders" `Quick test_compare_orders_covers_all;
           Alcotest.test_case "light load" `Quick test_light_load_order_irrelevant;
+        ] );
+      ( "regression",
+        [
+          Alcotest.test_case "cheapest-first prices the reset state" `Quick
+            test_cheapest_pricing_sees_reset_state;
+          Alcotest.test_case "reset:false plans against residuals" `Quick
+            test_reset_false_plans_against_residuals;
+          Alcotest.test_case "deterministic across twins" `Quick
+            test_plan_deterministic_across_twins;
         ] );
       ( "statistical",
         [

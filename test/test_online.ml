@@ -2,8 +2,10 @@ module Cp = Nfv_multicast.Online_cp
 module Sp = Nfv_multicast.Online_sp
 module Adm = Nfv_multicast.Admission
 module Pt = Nfv_multicast.Pseudo_tree
+module W = Nfv_multicast.Sp_window
 module N = Sdn.Network
 module Rng = Topology.Rng
+module Obs = Nfv_obs.Obs
 
 let mk_net seed =
   let rng = Rng.create seed in
@@ -81,6 +83,76 @@ let test_admission_consumes_resources () =
     Tutil.assert_close "drained by demand"
       (N.server_capacity net a.Cp.server -. demand)
       (N.server_residual net a.Cp.server)
+
+(* --- rejection attribution (designed topologies) --- *)
+
+let straw_capacity = 0.5 (* far below any request bandwidth *)
+
+(* s=0 — d=1 over a wide link; the only server (2) sits behind a starved
+   link. Destinations are reachable, servers are not: this used to be
+   misreported as plain [Unreachable]. *)
+let server_behind_straw () =
+  let g = Mcgraph.Graph.of_edges ~n:3 [ (0, 1); (0, 2) ] in
+  let topo = Topology.Topo.make ~name:"server-behind-straw" g in
+  N.make_explicit ~topology:topo
+    ~servers:[ (2, 8_000.0, 0.01) ]
+    ~link_capacities:[| 1_000.0; straw_capacity |]
+    ~link_unit_costs:[| 1.0; 1.0 |]
+    ()
+
+let test_server_unreachable_attribution () =
+  let net = server_behind_straw () in
+  let req =
+    Sdn.Request.make ~id:0 ~source:0 ~destinations:[ 1 ] ~bandwidth:10.0
+      ~chain:[ Sdn.Vnf.Nat ]
+  in
+  Obs.reset_all ();
+  Obs.enabled := true;
+  Fun.protect ~finally:(fun () -> Obs.enabled := false) @@ fun () ->
+  (match Cp.admit net req with
+  | Cp.Rejected Cp.Server_unreachable -> ()
+  | Cp.Rejected r -> Alcotest.failf "wrong reason: %s" (Cp.rejection_to_string r)
+  | Cp.Admitted _ -> Alcotest.fail "should reject");
+  Alcotest.(check int) "attributed to server_unreachable" 1
+    (Obs.Counter.value (Obs.Counter.make "online_cp.rejected.server_unreachable"));
+  Alcotest.(check int) "not to unreachable" 0
+    (Obs.Counter.value (Obs.Counter.make "online_cp.rejected.unreachable"));
+  (* a request the straw can carry is admitted — the server is only
+     unreachable at the larger bandwidth *)
+  let small =
+    Sdn.Request.make ~id:1 ~source:0 ~destinations:[ 1 ]
+      ~bandwidth:(straw_capacity /. 4.0) ~chain:[ Sdn.Vnf.Nat ]
+  in
+  match Cp.admit net small with
+  | Cp.Admitted _ -> ()
+  | Cp.Rejected r -> Alcotest.failf "small request: %s" (Cp.rejection_to_string r)
+
+(* Two equal-cost routes 0→4: A = 0-3-4 (2 hops, 1.25 + 0.75) and
+   B = 0-1-2-4 (3 hops, 0.5 + 0.5 + 1.0). Without the hop epsilon,
+   Dijkstra from 0 settles node 4 through B first and never replaces an
+   equal-cost parent; the epsilon must break the tie toward the 2-hop
+   route in [`Linear] mode exactly as it always did in [`Exponential]. *)
+let test_linear_mode_hop_tiebreak () =
+  let g = Mcgraph.Graph.of_edges ~n:5 [ (0, 3); (3, 4); (0, 1); (1, 2); (2, 4) ] in
+  let topo = Topology.Topo.make ~name:"hop-tie" g in
+  let net =
+    N.make_explicit ~topology:topo
+      ~servers:[ (4, 8_000.0, 0.01) ]
+      ~link_capacities:(Array.make 5 1_000.0)
+      ~link_unit_costs:[| 1.25; 0.75; 0.5; 0.5; 1.0 |]
+      ()
+  in
+  let req =
+    Sdn.Request.make ~id:0 ~source:0 ~destinations:[ 4 ] ~bandwidth:1.0
+      ~chain:[ Sdn.Vnf.Nat ]
+  in
+  match Cp.admit ~mode:`Linear net req with
+  | Cp.Rejected r -> Alcotest.failf "should admit: %s" (Cp.rejection_to_string r)
+  | Cp.Admitted a ->
+    Alcotest.(check (list (pair int int)))
+      "tie broken toward the 2-hop route"
+      [ (0, 1); (1, 1) ]
+      (List.sort compare a.Cp.tree.Pt.edge_uses)
 
 (* --- SP --- *)
 
@@ -204,6 +276,87 @@ let prop_sp_trees_valid =
           | Sp.Rejected _ -> true)
         reqs)
 
+(* --- pruning and window exactness --- *)
+
+(* outcome fingerprints: enough to detect any divergence in decision,
+   placement or score without comparing whole trees *)
+let cp_fingerprint = function
+  | Cp.Admitted a ->
+    Printf.sprintf "A server=%d lca=%d score=%.17g uses=%s" a.Cp.server
+      a.Cp.lca a.Cp.score
+      (String.concat ","
+         (List.map
+            (fun (e, u) -> Printf.sprintf "%d:%d" e u)
+            (List.sort compare a.Cp.tree.Pt.edge_uses)))
+  | Cp.Rejected r -> "R " ^ Cp.rejection_to_string r
+
+let net_state net =
+  ( Array.init (N.m net) (N.link_residual net),
+    List.map (N.server_residual net) (N.servers net) )
+
+(* pruning + window sharing must be invisible: same decisions, same
+   scores, same residual trajectories as the naive per-request engines *)
+let prop_prune_and_window_exact =
+  Tutil.qtest ~count:25 "pruned windowed run = naive run, bit for bit"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let net1, rng1 = mk_net (seed + 1700) in
+      let net2, rng2 = mk_net (seed + 1700) in
+      let reqs1 = Workload.Gen.sequence rng1 net1 ~count:40 in
+      let reqs2 = Workload.Gen.sequence rng2 net2 ~count:40 in
+      let w = W.create net1 in
+      let fast =
+        List.map
+          (fun r -> cp_fingerprint (Cp.admit ~window:w ~prune:true net1 r))
+          reqs1
+      in
+      let naive =
+        List.map (fun r -> cp_fingerprint (Cp.admit ~prune:false net2 r)) reqs2
+      in
+      fast = naive && net_state net1 = net_state net2)
+
+let sp_fingerprint = function
+  | Sp.Admitted a ->
+    Printf.sprintf "A hops=%d uses=%s" a.Sp.hops
+      (String.concat ","
+         (List.map
+            (fun (e, u) -> Printf.sprintf "%d:%d" e u)
+            (List.sort compare a.Sp.tree.Pt.edge_uses)))
+  | Sp.Rejected msg -> "R " ^ msg
+
+let prop_sp_window_exact =
+  Tutil.qtest ~count:25 "SP window sharing changes nothing"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let net1, rng1 = mk_net (seed + 2100) in
+      let net2, rng2 = mk_net (seed + 2100) in
+      let reqs1 = Workload.Gen.sequence rng1 net1 ~count:40 in
+      let reqs2 = Workload.Gen.sequence rng2 net2 ~count:40 in
+      let w = W.create net1 in
+      let windowed =
+        List.map (fun r -> sp_fingerprint (Sp.admit ~window:w net1 r)) reqs1
+      in
+      let naive = List.map (fun r -> sp_fingerprint (Sp.admit net2 r)) reqs2 in
+      windowed = naive && net_state net1 = net_state net2)
+
+(* the speed-up must actually materialise: under load, the driver's
+   shared window serves some admits from cache and the pruner skips
+   some candidate servers outright *)
+let test_window_and_pruning_telemetry () =
+  let net, rng = mk_net 12 in
+  let reqs = Workload.Gen.sequence rng net ~count:80 in
+  Obs.reset_all ();
+  Obs.enabled := true;
+  Fun.protect ~finally:(fun () -> Obs.enabled := false) @@ fun () ->
+  ignore (Adm.run net Adm.Online_cp reqs);
+  let v name = Obs.Counter.value (Obs.Counter.make name) in
+  Alcotest.(check bool) "servers were pruned" true
+    (v "online_cp.pruned.servers" > 0);
+  Alcotest.(check bool) "window engines were reused" true
+    (v "sp_window.engine_reuses" > 0);
+  Alcotest.(check bool) "engine cache served hits" true
+    (v "sp_engine.cache_hits" > 0)
+
 let prop_cp_score_nonnegative =
   Tutil.qtest ~count:30 "admitted scores are non-negative"
     QCheck.(int_bound 10_000)
@@ -233,6 +386,13 @@ let () =
           Alcotest.test_case "admission consumes resources" `Quick
             test_admission_consumes_resources;
         ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "server unreachable is distinguished" `Quick
+            test_server_unreachable_attribution;
+          Alcotest.test_case "linear mode breaks ties by hops" `Quick
+            test_linear_mode_hop_tiebreak;
+        ] );
       ( "sp",
         [
           Alcotest.test_case "admits idle" `Quick test_sp_admits_idle;
@@ -244,6 +404,13 @@ let () =
           Alcotest.test_case "reset + determinism" `Quick test_run_resets;
           Alcotest.test_case "prefix property" `Quick test_prefix_property;
           Alcotest.test_case "names" `Quick test_algorithm_names;
+        ] );
+      ( "pruning",
+        [
+          prop_prune_and_window_exact;
+          prop_sp_window_exact;
+          Alcotest.test_case "window and pruning telemetry" `Quick
+            test_window_and_pruning_telemetry;
         ] );
       ( "property",
         [

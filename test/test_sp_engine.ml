@@ -188,6 +188,133 @@ let test_obs_stale_trees_swept () =
   Alcotest.(check int) "swept source is a fresh miss" 4
     (Obs.Counter.value c_misses)
 
+(* --- renew: closure swap for long-lived engines ------------------------ *)
+
+let test_renew_keeps_cache_same_epoch () =
+  let g, weight = waxman_with_pruning 21 in
+  let eng = Sp.create g ~weight in
+  ignore (Sp.dist eng 0 1);
+  (* a new but extensionally equal closure: cached trees must survive *)
+  Sp.renew eng ~weight:(fun e -> weight e);
+  ignore (Sp.dist eng 0 1);
+  let st = Sp.stats eng in
+  Alcotest.(check int) "one tree" 1 st.Sp.trees_computed;
+  Alcotest.(check int) "post-renew query hits" 1 st.Sp.cache_hits;
+  Alcotest.(check int) "nothing swept" 0 st.Sp.invalidations
+
+let test_renew_sweeps_and_swaps_on_epoch_change () =
+  let g, _ = waxman_with_pruning 22 in
+  let epoch = ref 0 in
+  let eng = Sp.create g ~weight:(fun _ -> 1.0) ~epoch:(fun () -> !epoch) in
+  let hops = Sp.dist eng 0 1 in
+  incr epoch;
+  Sp.renew eng ~weight:(fun _ -> 2.0);
+  let st = Sp.stats eng in
+  Alcotest.(check int) "stale tree swept by renew" 1 st.Sp.invalidations;
+  (* the swapped closure is what the recomputation uses *)
+  Alcotest.check Tutil.check_float "distances follow the new closure"
+    (2.0 *. hops) (Sp.dist eng 0 1)
+
+(* --- Sp_window: engine sharing across an admission window -------------- *)
+
+module W = Nfv_multicast.Sp_window
+module Cp = Nfv_multicast.Online_cp
+
+let window_net seed =
+  let rng = Rng.create seed in
+  let topo = Topology.Waxman.generate ~alpha:0.5 ~beta:0.4 rng ~n:25 in
+  (N.make_random_servers ~fraction:0.25 ~rng topo, rng)
+
+(* the bucket must agree exactly with link_admits, so that equal bucket
+   (within one epoch) really means an identical pruned-link set *)
+let prop_bucket_counts_infeasible_links =
+  Tutil.qtest ~count:60 "window bucket = |links that reject b|"
+    QCheck.(pair (int_bound 100_000) (int_bound 2_000))
+    (fun (seed, b_int) ->
+      let b = float_of_int b_int in
+      let net, rng = window_net seed in
+      (* random partial load so residuals differ across links *)
+      for e = 0 to N.m net - 1 do
+        if Rng.float rng 1.0 < 0.4 then
+          ignore
+            (N.allocate net
+               { N.links = [ (e, Rng.float rng (N.link_residual net e)) ];
+                 nodes = [] })
+      done;
+      let w = W.create net in
+      let direct = ref 0 in
+      for e = 0 to N.m net - 1 do
+        if not (N.link_admits net e b) then incr direct
+      done;
+      W.bucket w ~bandwidth:b = !direct)
+
+let test_window_reuse_within_epoch () =
+  let net, _ = window_net 31 in
+  let w = W.create net in
+  let weight _ = 1.0 in
+  let e1 = W.engine w ~family:"t" ~bucket:0 ~weight in
+  ignore (Sp.dist e1 0 1);
+  let before = Sp.global_trees_computed () in
+  let e2 = W.engine w ~family:"t" ~bucket:0 ~weight in
+  Alcotest.(check bool) "same engine returned" true (e1 == e2);
+  ignore (Sp.dist e2 0 1);
+  Alcotest.(check int) "cached tree reused, no new Dijkstra" before
+    (Sp.global_trees_computed ());
+  let st = W.stats w in
+  Alcotest.(check int) "engines" 1 st.W.engines;
+  Alcotest.(check int) "acquisitions" 2 st.W.acquisitions;
+  Alcotest.(check int) "reuses" 1 st.W.reuses;
+  (* a different key is a different engine *)
+  let e3 = W.engine w ~family:"t" ~bucket:1 ~weight in
+  Alcotest.(check bool) "distinct key, distinct engine" false (e1 == e3)
+
+let test_window_sweeps_on_epoch_bump () =
+  let net, _ = window_net 32 in
+  let w = W.create net in
+  let weight _ = 1.0 in
+  let e1 = W.engine w ~family:"t" ~bucket:0 ~weight in
+  ignore (Sp.dist e1 0 1);
+  (match N.allocate net { N.links = [ (0, 1.0) ]; nodes = [] } with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "allocate: %s" e);
+  let e2 = W.engine w ~family:"t" ~bucket:0 ~weight in
+  Alcotest.(check bool) "engine object survives the bump" true (e1 == e2);
+  let before = Sp.global_trees_computed () in
+  ignore (Sp.dist e2 0 1);
+  Alcotest.(check int) "stale tree recomputed after the bump" (before + 1)
+    (Sp.global_trees_computed ());
+  Alcotest.(check bool) "sweep counted" true
+    ((Sp.stats e2).Sp.invalidations >= 1)
+
+(* Cross-request reuse through the real admission path: two identical
+   admits that both reject leave the epoch alone, so the second one must
+   run entirely from cached trees; an admission (epoch bump) must force
+   recomputation. *)
+let test_window_cross_request_reuse () =
+  let net, rng = window_net 33 in
+  let req = Workload.Gen.request rng net ~id:0 in
+  let w = W.create net in
+  let p = Cp.default_params net in
+  let rejecting = { p with Cp.sigma_v = -1.0; sigma_e = -1.0 } in
+  (match Cp.admit ~params:rejecting ~window:w net req with
+  | Cp.Rejected Cp.Over_threshold -> ()
+  | _ -> Alcotest.fail "expected threshold rejection");
+  let before = Sp.global_trees_computed () in
+  (match Cp.admit ~params:rejecting ~window:w net req with
+  | Cp.Rejected Cp.Over_threshold -> ()
+  | _ -> Alcotest.fail "expected threshold rejection");
+  Alcotest.(check int) "rejected replay costs zero Dijkstras" before
+    (Sp.global_trees_computed ());
+  (* now actually admit: the allocate bumps the epoch, so a further
+     admit of the same request recomputes instead of serving stale *)
+  (match Cp.admit ~window:w net req with
+  | Cp.Admitted _ -> ()
+  | Cp.Rejected r -> Alcotest.failf "idle admit: %s" (Cp.rejection_to_string r));
+  let after_admit = Sp.global_trees_computed () in
+  ignore (Cp.admit ~window:w net req);
+  Alcotest.(check bool) "post-admission requests recompute" true
+    (Sp.global_trees_computed () > after_admit)
+
 (* --- CSR structural sanity --------------------------------------------- *)
 
 let test_csr_matches_adjacency () =
@@ -242,6 +369,23 @@ let () =
             test_obs_epoch_bump_is_miss;
           Alcotest.test_case "stale trees swept" `Quick
             test_obs_stale_trees_swept;
+        ] );
+      ( "renew",
+        [
+          Alcotest.test_case "same epoch keeps cache" `Quick
+            test_renew_keeps_cache_same_epoch;
+          Alcotest.test_case "epoch change sweeps and swaps" `Quick
+            test_renew_sweeps_and_swaps_on_epoch_change;
+        ] );
+      ( "window",
+        [
+          prop_bucket_counts_infeasible_links;
+          Alcotest.test_case "reuse within epoch" `Quick
+            test_window_reuse_within_epoch;
+          Alcotest.test_case "sweep on epoch bump" `Quick
+            test_window_sweeps_on_epoch_bump;
+          Alcotest.test_case "cross-request reuse" `Quick
+            test_window_cross_request_reuse;
         ] );
       ( "csr",
         [
