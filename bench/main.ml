@@ -3,7 +3,7 @@
    index) and, with [--micro], runs Bechamel micro-benchmarks of the core
    algorithms. *)
 
-let figures = ref [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "ablation"; "dynamic"; "batch"; "delay"; "tables" ]
+let figures = ref Experiments.Registry.ids
 let seed = ref 1
 let requests = ref None
 let micro = ref false
@@ -11,12 +11,15 @@ let csv_dir = ref None
 let stats = ref false
 let jobs = ref 0
 let fake_clock = ref false
+let obs_out = ref None
 
 let specs =
   [
     ( "--figure",
       Arg.String (fun s -> figures := [ String.lowercase_ascii s ]),
-      "FIG  run one figure: fig5..fig9, ablation, dynamic, batch, delay, tables, all" );
+      "FIG  run one experiment family: "
+      ^ String.concat ", " Experiments.Registry.ids
+      ^ ", all" );
     ("--seed", Arg.Set_int seed, "N  random seed (default 1)");
     ( "--requests",
       Arg.Int (fun n -> requests := Some n),
@@ -36,28 +39,26 @@ let specs =
       Arg.Set fake_clock,
       " replace the CPU clock with a deterministic per-domain tick counter \
        (makes timing columns reproducible; see EXPERIMENTS.md)" );
+    ( "--obs-out",
+      Arg.String (fun d -> obs_out := Some d),
+      "DIR  write a per-family Nfv_obs snapshot to DIR/<family>.obs.json \
+       (instruments are reset before each family, so every snapshot is \
+       self-contained)" );
   ]
 
 let usage =
   "main.exe [--figure FIG] [--seed N] [--requests N] [--jobs N] [--fake-clock] \
-   [--micro] [--csv DIR] [--stats]"
+   [--micro] [--csv DIR] [--obs-out DIR] [--stats]"
 
 let run_figure name =
-  let seed = !seed in
   let figs =
-    match name with
-    | "fig5" -> Experiments.Fig5.run ~seed ?requests:!requests ()
-    | "fig6" -> Experiments.Fig6.run ~seed ?requests:!requests ()
-    | "fig7" -> Experiments.Fig7.run ~seed ?requests:!requests ()
-    | "fig8" -> Experiments.Fig8.run ~seed ?requests:!requests ()
-    | "fig9" -> Experiments.Fig9.run ~seed ?requests:!requests ()
-    | "ablation" -> Experiments.Ablation.run ~seed ?requests:!requests ()
-    | "dynamic" -> Experiments.Dynamic_load.run ~seed ?arrivals:!requests ()
-    | "batch" -> Experiments.Batch_order.run ~seed ()
-    | "delay" -> Experiments.Delay_exp.run ~seed ?requests:!requests ()
-    | "tables" -> Experiments.Table_exp.run ~seed ?requests:!requests ()
-    | other ->
-      Printf.eprintf "unknown figure %S\n" other;
+    match Experiments.Registry.find name with
+    | Some spec ->
+      Experiments.Runner.run ~seed:!seed ?requests:!requests
+        ?obs_out:!obs_out spec
+    | None ->
+      Printf.eprintf "unknown figure %S (try: %s)\n" name
+        (String.concat ", " Experiments.Registry.ids);
       exit 2
   in
   Experiments.Exp_common.render_all Format.std_formatter figs;
@@ -243,8 +244,7 @@ let () =
   if !stats then Nfv_obs.Obs.enabled := true;
   let names =
     match !figures with
-    | [ "all" ] ->
-      [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "ablation"; "dynamic"; "batch"; "delay"; "tables" ]
+    | [ "all" ] -> Experiments.Registry.ids
     | names -> names
   in
   let _, elapsed =

@@ -73,101 +73,53 @@ let make_network rng spec =
 
 (* ---------- figure commands ---------- *)
 
+let obs_out_arg =
+  let doc =
+    "Write a per-family Nfv_obs snapshot to $(docv)/<family>.obs.json \
+     (instruments are reset before each family, so every snapshot is \
+     self-contained and diffable)."
+  in
+  Arg.(value & opt (some string) None & info [ "obs-out" ] ~docv:"DIR" ~doc)
+
+let csv_arg =
+  let doc = "Also write each figure as $(docv)/<id>.csv." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
 let run_figures figs = Experiments.Exp_common.render_all Format.std_formatter figs
 
-let figure_cmd name doc run =
-  let action seed requests jobs stats =
+let run_spec ~seed ~requests ~obs_out ~csv spec =
+  let figs = Experiments.Runner.run ~seed ?requests ?obs_out spec in
+  run_figures figs;
+  match csv with
+  | None -> ()
+  | Some dir ->
+    List.iter (fun f -> ignore (Experiments.Exp_common.write_csv ~dir f)) figs
+
+(* one subcommand per registered experiment family — the registry, not
+   this file, decides what exists *)
+let spec_cmd (spec : Experiments.Spec.t) =
+  let action seed requests jobs stats obs_out csv =
     Experiments.Pool.set_jobs jobs;
-    with_stats stats (fun () -> run_figures (run ~seed ?requests ()))
+    with_stats stats (fun () -> run_spec ~seed ~requests ~obs_out ~csv spec)
   in
-  Cmd.v (Cmd.info name ~doc)
-    Term.(const action $ seed_arg $ requests_arg $ jobs_arg $ stats_arg)
-
-let fig5_cmd =
-  figure_cmd "fig5" "Fig. 5: Appro_Multi vs Alg_One_Server on random networks"
-    (fun ~seed ?requests () -> Experiments.Fig5.run ~seed ?requests ())
-
-let fig6_cmd =
-  figure_cmd "fig6" "Fig. 6: Appro_Multi vs Alg_One_Server in GEANT and AS1755"
-    (fun ~seed ?requests () -> Experiments.Fig6.run ~seed ?requests ())
-
-let fig7_cmd =
-  figure_cmd "fig7" "Fig. 7: Appro_Multi_Cap under capacity constraints"
-    (fun ~seed ?requests () -> Experiments.Fig7.run ~seed ?requests ())
-
-let fig8_cmd =
-  figure_cmd "fig8" "Fig. 8: Online_CP vs SP across network sizes"
-    (fun ~seed ?requests () -> Experiments.Fig8.run ~seed ?requests ())
-
-let fig9_cmd =
-  figure_cmd "fig9" "Fig. 9: Online_CP vs SP in GEANT and AS1755"
-    (fun ~seed ?requests () -> Experiments.Fig9.run ~seed ?requests ())
-
-let ablation_cmd =
-  let doc = "Ablations: cost model (A1) and K sweep (A2)." in
-  let action seed requests jobs stats =
-    Experiments.Pool.set_jobs jobs;
-    with_stats stats (fun () ->
-        run_figures (Experiments.Ablation.run ~seed ?requests ()))
-  in
-  Cmd.v (Cmd.info "ablation" ~doc)
-    Term.(const action $ seed_arg $ requests_arg $ jobs_arg $ stats_arg)
-
-let dynamic_cmd =
-  let doc = "Extension: acceptance under request departures vs offered load." in
-  let action seed requests jobs stats =
-    Experiments.Pool.set_jobs jobs;
-    with_stats stats (fun () ->
-        run_figures (Experiments.Dynamic_load.run ~seed ?arrivals:requests ()))
-  in
-  Cmd.v (Cmd.info "dynamic" ~doc)
-    Term.(const action $ seed_arg $ requests_arg $ jobs_arg $ stats_arg)
-
-let batch_cmd =
-  let doc = "Extension: offline batch admission order comparison." in
-  let action seed jobs stats =
-    Experiments.Pool.set_jobs jobs;
-    with_stats stats (fun () ->
-        run_figures (Experiments.Batch_order.run ~seed ()))
-  in
-  Cmd.v (Cmd.info "batch" ~doc)
-    Term.(const action $ seed_arg $ jobs_arg $ stats_arg)
-
-let delay_cmd =
-  let doc = "Extension: delay-bounded admission vs deadline tightness." in
-  let action seed requests jobs stats =
-    Experiments.Pool.set_jobs jobs;
-    with_stats stats (fun () ->
-        run_figures (Experiments.Delay_exp.run ~seed ?requests ()))
-  in
-  Cmd.v (Cmd.info "delay" ~doc)
-    Term.(const action $ seed_arg $ requests_arg $ jobs_arg $ stats_arg)
-
-let tables_cmd =
-  let doc = "Extension: per-switch forwarding-table budgets." in
-  let action seed requests jobs stats =
-    Experiments.Pool.set_jobs jobs;
-    with_stats stats (fun () ->
-        run_figures (Experiments.Table_exp.run ~seed ?requests ()))
-  in
-  Cmd.v (Cmd.info "tables" ~doc)
-    Term.(const action $ seed_arg $ requests_arg $ jobs_arg $ stats_arg)
+  Cmd.v
+    (Cmd.info spec.Experiments.Spec.id ~doc:(spec.Experiments.Spec.doc ^ "."))
+    Term.(
+      const action $ seed_arg $ requests_arg $ jobs_arg $ stats_arg
+      $ obs_out_arg $ csv_arg)
 
 let all_cmd =
-  let doc = "Every figure and ablation (the full reproduction run)." in
-  let action seed jobs stats =
+  let doc = "Every registered experiment family (the full reproduction run)." in
+  let action seed jobs stats obs_out csv =
     Experiments.Pool.set_jobs jobs;
     with_stats stats (fun () ->
-        run_figures (Experiments.Fig5.run ~seed ());
-        run_figures (Experiments.Fig6.run ~seed ());
-        run_figures (Experiments.Fig7.run ~seed ());
-        run_figures (Experiments.Fig8.run ~seed ());
-        run_figures (Experiments.Fig9.run ~seed ());
-        run_figures (Experiments.Ablation.run ~seed ());
-        run_figures (Experiments.Dynamic_load.run ~seed ()))
+        List.iter
+          (run_spec ~seed ~requests:None ~obs_out ~csv)
+          Experiments.Registry.all)
   in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const action $ seed_arg $ jobs_arg $ stats_arg)
+    Term.(
+      const action $ seed_arg $ jobs_arg $ stats_arg $ obs_out_arg $ csv_arg)
 
 (* ---------- solve one request ---------- *)
 
@@ -248,10 +200,7 @@ let main =
   let doc = "NFV-enabled multicasting in SDNs (ICDCS 2017 reproduction)" in
   Cmd.group
     (Cmd.info "nfvm" ~version:"1.0.0" ~doc)
-    [
-      fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; ablation_cmd;
-      dynamic_cmd; batch_cmd; delay_cmd; tables_cmd; all_cmd; solve_cmd;
-      admit_cmd;
-    ]
+    (List.map spec_cmd Experiments.Registry.all
+    @ [ all_cmd; solve_cmd; admit_cmd ])
 
 let () = exit (Cmd.eval main)

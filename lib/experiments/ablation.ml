@@ -1,56 +1,84 @@
 module Adm = Nfv_multicast.Admission
 module A = Nfv_multicast.Appro_multi
 
+(* ---- A1: cost model ---- *)
+
 (* A1 runs four algorithms over the same arrival sequence. Each
    algorithm is a pool point of its own (they are independent full-length
    admission runs), so every point rebuilds the identical network and
    sequence from one shared seed instead of the per-point rng the pool
    hands it. *)
-let cost_model ?(seed = 1) ?(requests = 2000) ?(n = 100) () =
-  let algos =
-    [ Adm.Online_cp; Adm.Online_cp_no_threshold; Adm.Online_linear; Adm.Sp ]
-  in
-  let shared = Pool.point_seed ~figure:"ablA1" ~index:0 ~seed in
-  let algos_a = Array.of_list algos in
-  let stats =
-    Pool.map ~figure:"ablA1" ~seed (Array.length algos_a) (fun ~rng:_ i ->
-        let rng = Topology.Rng.create shared in
-        let topo = Topology.Waxman.generate ~alpha:0.2 ~beta:0.25 rng ~n in
-        let net = Sdn.Network.make_random_servers ~fraction:0.05 ~rng topo in
-        let reqs = Workload.Gen.sequence rng net ~count:requests in
-        Adm.run net algos_a.(i) reqs)
-  in
+
+let a1_algos =
+  [ Adm.Online_cp; Adm.Online_cp_no_threshold; Adm.Online_linear; Adm.Sp ]
+
+let a1_checkpoints requests =
   let step = max 1 (requests / 10) in
-  let checkpoints = List.init (requests / step) (fun i -> (i + 1) * step) in
-  let curve stats =
-    List.map
-      (fun p -> (float_of_int p, float_of_int (Adm.admitted_after stats p)))
-      checkpoints
+  List.init (requests / step) (fun i -> (i + 1) * step)
+
+let cost_model_instance ~seed ?(requests = 2000) ?(n = 100) () =
+  let shared = Pool.point_seed ~figure:"ablA1" ~index:0 ~seed in
+  let algos_a = Array.of_list a1_algos in
+  let checkpoints = a1_checkpoints requests in
+  let sweep =
+    {
+      Spec.key = "ablA1";
+      points = Array.length algos_a;
+      point =
+        (fun ~rng:_ i ->
+          let rng = Topology.Rng.create shared in
+          let topo = Topology.Waxman.generate ~alpha:0.2 ~beta:0.25 rng ~n in
+          let net = Sdn.Network.make_random_servers ~fraction:0.05 ~rng topo in
+          let reqs = Workload.Gen.sequence rng net ~count:requests in
+          let stats = Adm.run net algos_a.(i) reqs in
+          List.map
+            (fun p ->
+              ( Printf.sprintf "adm@%d" p,
+                float_of_int (Adm.admitted_after stats p) ))
+            checkpoints);
+    }
   in
-  let series =
-    List.map2
-      (fun algo stats ->
-        { Exp_common.label = Adm.algorithm_to_string algo; points = curve stats })
-      algos stats
+  let figures =
+    [
+      {
+        Spec.fid = "ablA1";
+        title = "cost-model ablation: admissions over a long arrival sequence";
+        xlabel = "requests";
+        ylabel = "admitted";
+        series =
+          List.mapi
+            (fun ai algo ->
+              {
+                Spec.label = Adm.algorithm_to_string algo;
+                cells =
+                  List.map
+                    (fun p ->
+                      {
+                        Spec.x = float_of_int p;
+                        sweep = 0;
+                        point = ai;
+                        metric = Printf.sprintf "adm@%d" p;
+                      })
+                    checkpoints;
+              })
+            a1_algos;
+        notes =
+          [
+            Printf.sprintf
+              "n = %d, 5%% servers, sparse topology; exponential vs linear weights vs SP"
+              n;
+          ];
+      };
+    ]
   in
-  {
-    Exp_common.id = "ablA1";
-    title = "cost-model ablation: admissions over a long arrival sequence";
-    xlabel = "requests";
-    ylabel = "admitted";
-    series;
-    notes =
-      [
-        Printf.sprintf
-          "n = %d, 5%% servers, sparse topology; exponential vs linear weights vs SP"
-          n;
-      ];
-  }
+  { Spec.sweeps = [ sweep ]; figures }
+
+(* ---- A2: number of servers per chain ---- *)
 
 (* A2 compares K values at each network size, so the K runs at one size
    must share that size's network and requests: the point seed is
    derived from the size index alone. *)
-let k_sweep ?(seed = 1) ?(requests = 20) ?(sizes = [ 50; 100; 150 ]) () =
+let k_sweep_instance ~seed ?(requests = 20) ?(sizes = [ 50; 100; 150 ]) () =
   let ks = [ 1; 2; 3 ] in
   let sizes_a = Array.of_list sizes in
   let per_k = Array.length sizes_a in
@@ -58,233 +86,370 @@ let k_sweep ?(seed = 1) ?(requests = 20) ?(sizes = [ 50; 100; 150 ]) () =
     Array.of_list
       (List.concat_map (fun k -> List.map (fun n -> (k, n)) sizes) ks)
   in
-  let points =
-    Pool.map ~figure:"ablA2" ~seed (Array.length params) (fun ~rng:_ i ->
-        let k, n = params.(i) in
-        let rng =
-          Topology.Rng.create
-            (Pool.point_seed ~figure:"ablA2" ~index:(i mod per_k) ~seed)
-        in
-        let net = Exp_common.network rng ~n in
-        let spec = { Workload.Gen.default_spec with dmax_ratio = Some 0.2 } in
-        let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
-        let cs = ref [] and ts = ref [] in
-        List.iter
-          (fun r ->
-            let res, t = Exp_common.time_of (fun () -> A.solve ~k net r) in
-            match res with
-            | Ok res ->
-              cs := res.A.cost :: !cs;
-              ts := t :: !ts
-            | Error _ -> ())
-          reqs;
-        (Exp_common.mean !cs, 1000.0 *. Exp_common.mean !ts))
+  let sweep =
+    {
+      Spec.key = "ablA2";
+      points = Array.length params;
+      point =
+        (fun ~rng:_ i ->
+          let k, n = params.(i) in
+          let rng =
+            Topology.Rng.create
+              (Pool.point_seed ~figure:"ablA2" ~index:(i mod per_k) ~seed)
+          in
+          let net = Exp_common.network rng ~n in
+          let spec = { Workload.Gen.default_spec with dmax_ratio = Some 0.2 } in
+          let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
+          let p = Runner.span_probe "appro_multi.solve" in
+          let cs = ref [] in
+          List.iter
+            (fun r ->
+              match A.solve ~k net r with
+              | Ok res -> cs := res.A.cost :: !cs
+              | Error _ -> ())
+            reqs;
+          [
+            ("cost", Exp_common.mean !cs); ("ms", Runner.span_mean_ms p);
+          ]);
+    }
   in
-  let points = Array.of_list points in
-  let series f =
+  let series metric =
     List.mapi
       (fun ki k ->
         {
-          Exp_common.label = Printf.sprintf "K=%d" k;
-          points =
+          Spec.label = Printf.sprintf "K=%d" k;
+          cells =
             List.mapi
-              (fun si n -> (float_of_int n, f points.((ki * per_k) + si)))
+              (fun si n ->
+                {
+                  Spec.x = float_of_int n;
+                  sweep = 0;
+                  point = (ki * per_k) + si;
+                  metric;
+                })
               sizes;
         })
       ks
   in
-  [
-    {
-      Exp_common.id = "ablA2cost";
-      title = "K ablation: Appro_Multi cost vs network size";
-      xlabel = "|V|";
-      ylabel = "mean cost";
-      series = series fst;
-      notes = [ Printf.sprintf "Dmax/|V| = 0.2, %d requests per point" requests ];
-    };
-    {
-      Exp_common.id = "ablA2time";
-      title = "K ablation: Appro_Multi running time vs network size";
-      xlabel = "|V|";
-      ylabel = "ms per request";
-      series = series snd;
-      notes = [ Printf.sprintf "Dmax/|V| = 0.2, %d requests per point" requests ];
-    };
-  ]
+  let notes =
+    [ Printf.sprintf "Dmax/|V| = 0.2, %d requests per point" requests ]
+  in
+  let figures =
+    [
+      {
+        Spec.fid = "ablA2cost";
+        title = "K ablation: Appro_Multi cost vs network size";
+        xlabel = "|V|";
+        ylabel = "mean cost";
+        series = series "cost";
+        notes;
+      };
+      {
+        Spec.fid = "ablA2time";
+        title = "K ablation: Appro_Multi running time vs network size";
+        xlabel = "|V|";
+        ylabel = "ms per request";
+        series = series "ms";
+        notes;
+      };
+    ]
+  in
+  { Spec.sweeps = [ sweep ]; figures }
+
+(* ---- A2 companion: the designed two-cluster instance ---- *)
+
+let cluster_ks = [ 1; 2 ]
+let cluster_bandwidths = [ 25.0; 50.0; 100.0; 150.0; 200.0 ]
+let cluster_metric k b = Printf.sprintf "k%d@%g" k b
 
 (* Where multiple servers genuinely pay off: a source between two
    destination clusters, a server next to each cluster. A single chain
    instance forces the processed stream to re-cross one arm (2·arm·b
    extra bandwidth); a second instance costs one more chain placement.
-   The crossover sits at b ≈ chain_cost / (2·arm). *)
-let two_cluster ?(seed = 1) ?(arm = 4) () =
-  let rng = Topology.Rng.create seed in
-  (* nodes: 0 = source; arm nodes per side; server at the far end of each
-     arm, one destination hanging off each server *)
-  let n = (2 * arm) + 5 in
-  let g = Mcgraph.Graph.create n in
-  let chain_path start nodes =
-    List.fold_left
-      (fun prev v ->
-        ignore (Mcgraph.Graph.add_edge g prev v);
-        v)
-      start nodes
-  in
-  let left_nodes = List.init arm (fun i -> 1 + i) in
-  let right_nodes = List.init arm (fun i -> 1 + arm + i) in
-  let left_end = chain_path 0 left_nodes in
-  let right_end = chain_path 0 right_nodes in
-  let s_left = (2 * arm) + 1 and s_right = (2 * arm) + 2 in
-  let d_left = (2 * arm) + 3 and d_right = (2 * arm) + 4 in
-  ignore (Mcgraph.Graph.add_edge g left_end s_left);
-  ignore (Mcgraph.Graph.add_edge g right_end s_right);
-  ignore (Mcgraph.Graph.add_edge g s_left d_left);
-  ignore (Mcgraph.Graph.add_edge g s_right d_right);
-  let topo = Topology.Topo.make ~name:"two-cluster" g in
-  let net =
-    Sdn.Network.make
-      ~profile:
-        (Sdn.Network.uniform_profile ~link_capacity:100_000.0
-           ~server_capacity:12_000.0)
-      ~rng ~servers:[ s_left; s_right ] topo
-  in
-  let bandwidths = [ 25.0; 50.0; 100.0; 150.0; 200.0 ] in
-  let series_of k =
-    let points =
-      List.map
-        (fun b ->
-          let req =
-            Sdn.Request.make ~id:0 ~source:0 ~destinations:[ d_left; d_right ]
-              ~bandwidth:b
-              ~chain:[ Sdn.Vnf.Nat; Sdn.Vnf.Firewall; Sdn.Vnf.Ids ]
-          in
-          match A.solve ~k net req with
-          | Ok r -> (b, r.A.cost)
-          | Error _ -> (b, nan))
-        bandwidths
+   The crossover sits at b ≈ chain_cost / (2·arm). The single point
+   derives nothing from the pool rng — the designed topology is seeded
+   directly from the user seed, exactly as before the spec port. *)
+let two_cluster_instance ~seed ?(arm = 4) () =
+  let point ~rng:_ _ =
+    let rng = Topology.Rng.create seed in
+    (* nodes: 0 = source; arm nodes per side; server at the far end of each
+       arm, one destination hanging off each server *)
+    let n = (2 * arm) + 5 in
+    let g = Mcgraph.Graph.create n in
+    let chain_path start nodes =
+      List.fold_left
+        (fun prev v ->
+          ignore (Mcgraph.Graph.add_edge g prev v);
+          v)
+        start nodes
     in
-    { Exp_common.label = Printf.sprintf "K=%d" k; points }
+    let left_nodes = List.init arm (fun i -> 1 + i) in
+    let right_nodes = List.init arm (fun i -> 1 + arm + i) in
+    let left_end = chain_path 0 left_nodes in
+    let right_end = chain_path 0 right_nodes in
+    let s_left = (2 * arm) + 1 and s_right = (2 * arm) + 2 in
+    let d_left = (2 * arm) + 3 and d_right = (2 * arm) + 4 in
+    ignore (Mcgraph.Graph.add_edge g left_end s_left);
+    ignore (Mcgraph.Graph.add_edge g right_end s_right);
+    ignore (Mcgraph.Graph.add_edge g s_left d_left);
+    ignore (Mcgraph.Graph.add_edge g s_right d_right);
+    let topo = Topology.Topo.make ~name:"two-cluster" g in
+    let net =
+      Sdn.Network.make
+        ~profile:
+          (Sdn.Network.uniform_profile ~link_capacity:100_000.0
+             ~server_capacity:12_000.0)
+        ~rng ~servers:[ s_left; s_right ] topo
+    in
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun b ->
+            let req =
+              Sdn.Request.make ~id:0 ~source:0
+                ~destinations:[ d_left; d_right ] ~bandwidth:b
+                ~chain:[ Sdn.Vnf.Nat; Sdn.Vnf.Firewall; Sdn.Vnf.Ids ]
+            in
+            let cost =
+              match A.solve ~k net req with
+              | Ok r -> r.A.cost
+              | Error _ -> nan
+            in
+            (cluster_metric k b, cost))
+          cluster_bandwidths)
+      cluster_ks
   in
-  {
-    Exp_common.id = "ablA2cluster";
-    title = "K ablation: two destination clusters, server next to each";
-    xlabel = "bandwidth (Mbps)";
-    ylabel = "implementation cost";
-    series = List.map series_of [ 1; 2 ];
-    notes =
-      [
-        Printf.sprintf
-          "arm length %d; chain <NAT,Firewall,IDS> = 145 MHz; crossover at b ≈ 145/(2·%d)·c"
-          arm arm;
-      ];
-  }
+  let sweep = { Spec.key = "ablA2cluster"; points = 1; point } in
+  let figures =
+    [
+      {
+        Spec.fid = "ablA2cluster";
+        title = "K ablation: two destination clusters, server next to each";
+        xlabel = "bandwidth (Mbps)";
+        ylabel = "implementation cost";
+        series =
+          List.map
+            (fun k ->
+              {
+                Spec.label = Printf.sprintf "K=%d" k;
+                cells =
+                  List.map
+                    (fun b ->
+                      {
+                        Spec.x = b;
+                        sweep = 0;
+                        point = 0;
+                        metric = cluster_metric k b;
+                      })
+                    cluster_bandwidths;
+              })
+            cluster_ks;
+        notes =
+          [
+            Printf.sprintf
+              "arm length %d; chain <NAT,Firewall,IDS> = 145 MHz; crossover at b ≈ 145/(2·%d)·c"
+              arm arm;
+          ];
+      };
+    ]
+  in
+  { Spec.sweeps = [ sweep ]; figures }
+
+(* ---- A3: placement strategies ---- *)
 
 (* joint optimisation (Appro_Multi) vs tree-first placement (Inline, the
    paper's Fig. 3 derivation) vs the §VI-A baseline; the three solvers
    compare per request, so they stay inside the per-size point *)
-let placement_strategies ?(seed = 1) ?(requests = 40) ?(sizes = [ 50; 100; 150 ]) () =
-  let labels =
-    [ "Appro_Multi (joint)"; "Inline (tree-first)"; "Alg_One_Server" ]
-  in
-  let sizes_a = Array.of_list sizes in
-  let points =
-    Pool.map ~figure:"ablA3" ~seed (Array.length sizes_a) (fun ~rng i ->
-        let n = sizes_a.(i) in
-        let net = Exp_common.network rng ~n in
-        let spec = { Workload.Gen.default_spec with dmax_ratio = Some 0.15 } in
-        let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
-        let totals = [| []; []; [] |] in
-        List.iter
-          (fun r ->
-            match
-              ( A.solve ~k:2 net r,
-                Nfv_multicast.Inline_tree.solve ~k:2 net r,
-                Nfv_multicast.One_server.solve net r )
-            with
-            | Ok a, Ok i, Ok o ->
-              totals.(0) <- a.A.cost :: totals.(0);
-              totals.(1) <- i.Nfv_multicast.Inline_tree.cost :: totals.(1);
-              totals.(2) <- o.Nfv_multicast.One_server.cost :: totals.(2)
-            | _ -> ())
-          reqs;
-        Array.map Exp_common.mean totals)
-  in
-  let points = Array.of_list points in
-  {
-    Exp_common.id = "ablA3";
-    title = "placement strategy: joint vs tree-first vs baseline";
-    xlabel = "|V|";
-    ylabel = "mean cost";
-    series =
-      List.mapi
-        (fun li l ->
-          {
-            Exp_common.label = l;
-            points =
-              List.mapi
-                (fun si n -> (float_of_int n, points.(si).(li)))
-                sizes;
-          })
-        labels;
-    notes =
-      [
-        Printf.sprintf "Dmax/|V| = 0.15, K = 2, %d requests per point" requests;
-      ];
-  }
+let a3_labels =
+  [
+    ("joint", "Appro_Multi (joint)");
+    ("inline", "Inline (tree-first)");
+    ("one", "Alg_One_Server");
+  ]
 
-(* the K > 1 online variant (future-work direction): admitted requests
-   vs K under sustained load. The four runs (K ∈ {1,2,3} and the SP
-   reference) are independent, so each is a pool point that rebuilds
-   the shared network and sequence from one seed. *)
-let online_k ?(seed = 1) ?(requests = 800) ?(n = 100) () =
+let placement_instance ?(requests = 40) ?(sizes = [ 50; 100; 150 ]) () =
+  let sizes_a = Array.of_list sizes in
+  let sweep =
+    {
+      Spec.key = "ablA3";
+      points = Array.length sizes_a;
+      point =
+        (fun ~rng i ->
+          let n = sizes_a.(i) in
+          let net = Exp_common.network rng ~n in
+          let spec =
+            { Workload.Gen.default_spec with dmax_ratio = Some 0.15 }
+          in
+          let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
+          let totals = [| []; []; [] |] in
+          List.iter
+            (fun r ->
+              match
+                ( A.solve ~k:2 net r,
+                  Nfv_multicast.Inline_tree.solve ~k:2 net r,
+                  Nfv_multicast.One_server.solve net r )
+              with
+              | Ok a, Ok i, Ok o ->
+                totals.(0) <- a.A.cost :: totals.(0);
+                totals.(1) <- i.Nfv_multicast.Inline_tree.cost :: totals.(1);
+                totals.(2) <- o.Nfv_multicast.One_server.cost :: totals.(2)
+              | _ -> ())
+            reqs;
+          List.mapi
+            (fun li (m, _) -> (m, Exp_common.mean totals.(li)))
+            a3_labels);
+    }
+  in
+  let figures =
+    [
+      {
+        Spec.fid = "ablA3";
+        title = "placement strategy: joint vs tree-first vs baseline";
+        xlabel = "|V|";
+        ylabel = "mean cost";
+        series =
+          List.map
+            (fun (m, label) ->
+              {
+                Spec.label = label;
+                cells =
+                  List.mapi
+                    (fun si n ->
+                      {
+                        Spec.x = float_of_int n;
+                        sweep = 0;
+                        point = si;
+                        metric = m;
+                      })
+                    sizes;
+              })
+            a3_labels;
+        notes =
+          [
+            Printf.sprintf "Dmax/|V| = 0.15, K = 2, %d requests per point"
+              requests;
+          ];
+      };
+    ]
+  in
+  { Spec.sweeps = [ sweep ]; figures }
+
+(* ---- A4: the K > 1 online variant ---- *)
+
+(* admitted requests vs K under sustained load (future-work direction).
+   The four runs (K ∈ {1,2,3} and the SP reference) are independent, so
+   each is a pool point that rebuilds the shared network and sequence
+   from one seed. *)
+let online_k_instance ~seed ?(requests = 800) ?(n = 100) () =
   let tasks = [| `K 1; `K 2; `K 3; `Sp |] in
   let shared = Pool.point_seed ~figure:"ablA4" ~index:0 ~seed in
-  let admitted =
-    Pool.map ~figure:"ablA4" ~seed (Array.length tasks) (fun ~rng:_ i ->
-        let rng = Topology.Rng.create shared in
-        let net = Exp_common.network rng ~n in
-        let reqs = Workload.Gen.sequence rng net ~count:requests in
-        match tasks.(i) with
-        | `K k -> Nfv_multicast.Online_multi.run ~k net reqs
-        | `Sp -> (Adm.run net Adm.Sp reqs).Adm.admitted)
+  let sweep =
+    {
+      Spec.key = "ablA4";
+      points = Array.length tasks;
+      point =
+        (fun ~rng:_ i ->
+          let rng = Topology.Rng.create shared in
+          let net = Exp_common.network rng ~n in
+          let reqs = Workload.Gen.sequence rng net ~count:requests in
+          let admitted =
+            match tasks.(i) with
+            | `K k -> Nfv_multicast.Online_multi.run ~k net reqs
+            | `Sp -> (Adm.run net Adm.Sp reqs).Adm.admitted
+          in
+          [ ("admitted", float_of_int admitted) ]);
+    }
   in
-  let admitted = Array.of_list admitted in
   let ks = [ 1; 2; 3 ] in
-  {
-    Exp_common.id = "ablA4";
-    title = "online multi-server placement: admitted vs K";
-    xlabel = "K";
-    ylabel = "admitted";
-    series =
-      [
-        {
-          Exp_common.label = "Online_Multi";
-          points =
-            List.mapi
-              (fun i k -> (float_of_int k, float_of_int admitted.(i)))
-              ks;
-        };
-        {
-          Exp_common.label = "SP";
-          points =
-            List.map
-              (fun k -> (float_of_int k, float_of_int admitted.(3)))
-              ks;
-        };
-      ];
-    notes =
-      [
-        Printf.sprintf
-          "n = %d, %d requests; exponential prices, no σ thresholds (the K>1 \
-           online setting the paper leaves open)"
-          n requests;
-      ];
-  }
-
-let run ?(seed = 1) ?requests () =
-  (cost_model ~seed ?requests () :: k_sweep ~seed ?requests ())
-  @ [
-      two_cluster ~seed ();
-      placement_strategies ~seed ?requests ();
-      online_k ~seed ?requests ();
+  let figures =
+    [
+      {
+        Spec.fid = "ablA4";
+        title = "online multi-server placement: admitted vs K";
+        xlabel = "K";
+        ylabel = "admitted";
+        series =
+          [
+            {
+              Spec.label = "Online_Multi";
+              cells =
+                List.mapi
+                  (fun i k ->
+                    {
+                      Spec.x = float_of_int k;
+                      sweep = 0;
+                      point = i;
+                      metric = "admitted";
+                    })
+                  ks;
+            };
+            {
+              Spec.label = "SP";
+              cells =
+                List.map
+                  (fun k ->
+                    {
+                      Spec.x = float_of_int k;
+                      sweep = 0;
+                      point = 3;
+                      metric = "admitted";
+                    })
+                  ks;
+            };
+          ];
+        notes =
+          [
+            Printf.sprintf
+              "n = %d, %d requests; exponential prices, no σ thresholds (the K>1 \
+               online setting the paper leaves open)"
+              n requests;
+          ];
+      };
     ]
+  in
+  { Spec.sweeps = [ sweep ]; figures }
+
+(* ---- the combined family ---- *)
+
+let instance ~seed ?requests () =
+  Spec.concat_instances
+    [
+      cost_model_instance ~seed ?requests ();
+      k_sweep_instance ~seed ?requests ();
+      two_cluster_instance ~seed ();
+      placement_instance ?requests ();
+      online_k_instance ~seed ?requests ();
+    ]
+
+let spec =
+  Spec.make ~id:"ablation"
+    ~doc:"Ablations A1-A4: cost model, servers per chain, placement, online K"
+    ~figure_ids:
+      [ "ablA1"; "ablA2cost"; "ablA2time"; "ablA2cluster"; "ablA3"; "ablA4" ]
+    (fun ~seed ~requests -> instance ~seed ?requests ())
+
+(* legacy per-sub-experiment entry points, now thin runner wrappers *)
+
+let one seed inst =
+  match Runner.figures ~seed inst with
+  | [ f ] -> f
+  | fs ->
+    invalid_arg
+      (Printf.sprintf "Ablation: expected one figure, got %d" (List.length fs))
+
+let cost_model ?(seed = 1) ?requests ?n () =
+  one seed (cost_model_instance ~seed ?requests ?n ())
+
+let k_sweep ?(seed = 1) ?requests ?sizes () =
+  Runner.figures ~seed (k_sweep_instance ~seed ?requests ?sizes ())
+
+let two_cluster ?(seed = 1) ?arm () =
+  one seed (two_cluster_instance ~seed ?arm ())
+
+let placement_strategies ?(seed = 1) ?requests ?sizes () =
+  one seed (placement_instance ?requests ?sizes ())
+
+let online_k ?(seed = 1) ?requests ?n () =
+  one seed (online_k_instance ~seed ?requests ?n ())
+
+let run ?(seed = 1) ?requests () = Runner.figures ~seed (instance ~seed ?requests ())

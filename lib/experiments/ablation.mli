@@ -29,6 +29,11 @@ val online_k : ?seed:int -> ?requests:int -> ?n:int -> unit -> Exp_common.figure
 (** Admissions of the exponential-price online variant for K ∈ {1,2,3}
     against SP — the K > 1 online setting the paper leaves open. *)
 
+val spec : Spec.t
+(** All ablations as one registered family (["ablation"]): figures
+    [ablA1], [ablA2cost], [ablA2time], [ablA2cluster], [ablA3],
+    [ablA4]. *)
+
 val run : ?seed:int -> ?requests:int -> unit -> Exp_common.figure list
 (** All ablations. When [requests] is given it overrides every
     sub-experiment's own default request count (used by the fast test

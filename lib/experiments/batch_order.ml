@@ -5,36 +5,60 @@ let orders = B.[ Arrival; Smallest_first; Largest_first; Cheapest_first ]
 (* One pool point = one batch size; the ordering policies pack the same
    batch, so they run together inside the point. *)
 
-let run ?(seed = 1) ?(n = 80) ?(sizes = [ 100; 200; 400; 800 ]) () =
+let instance ?(n = 80) ?(sizes = [ 100; 200; 400; 800 ]) () =
   let sizes_a = Array.of_list sizes in
-  let points =
-    Pool.map ~figure:"batch" ~seed (Array.length sizes_a) (fun ~rng i ->
-        let batch = sizes_a.(i) in
-        let net = Exp_common.network rng ~n in
-        let reqs = Workload.Gen.sequence rng net ~count:batch in
-        List.map (fun o -> (B.plan ~k:2 net reqs o).B.admitted) orders)
-  in
-  let points = Array.of_list points in
-  [
+  let sweep =
     {
-      Exp_common.id = "batchA";
-      title = "batch admission: requests packed per ordering policy";
-      xlabel = "batch size";
-      ylabel = "admitted";
-      series =
-        List.mapi
-          (fun oi o ->
-            {
-              Exp_common.label = B.order_to_string o;
-              points =
-                List.mapi
-                  (fun si batch ->
-                    (float_of_int batch,
-                     float_of_int (List.nth points.(si) oi)))
-                  sizes;
-            })
-          orders;
-      notes =
-        [ Printf.sprintf "n = %d, K = 2, Appro_Multi_Cap greedy admission" n ];
-    };
-  ]
+      Spec.key = "batch";
+      points = Array.length sizes_a;
+      point =
+        (fun ~rng i ->
+          let batch = sizes_a.(i) in
+          let net = Exp_common.network rng ~n in
+          let reqs = Workload.Gen.sequence rng net ~count:batch in
+          List.map
+            (fun o ->
+              ( "adm_" ^ B.order_to_string o,
+                float_of_int (B.plan ~k:2 net reqs o).B.admitted ))
+            orders);
+    }
+  in
+  let figures =
+    [
+      {
+        Spec.fid = "batchA";
+        title = "batch admission: requests packed per ordering policy";
+        xlabel = "batch size";
+        ylabel = "admitted";
+        series =
+          List.map
+            (fun o ->
+              let name = B.order_to_string o in
+              {
+                Spec.label = name;
+                cells =
+                  List.mapi
+                    (fun si batch ->
+                      {
+                        Spec.x = float_of_int batch;
+                        sweep = 0;
+                        point = si;
+                        metric = "adm_" ^ name;
+                      })
+                    sizes;
+              })
+            orders;
+        notes =
+          [ Printf.sprintf "n = %d, K = 2, Appro_Multi_Cap greedy admission" n ];
+      };
+    ]
+  in
+  { Spec.sweeps = [ sweep ]; figures }
+
+let spec =
+  Spec.make ~id:"batch"
+    ~doc:"Extension: offline batch admission order comparison"
+    ~figure_ids:[ "batchA" ]
+    (fun ~seed:_ ~requests:_ -> instance ())
+
+let run ?(seed = 1) ?n ?sizes () = Runner.figures ~seed (instance ?n ?sizes ())

@@ -3,4 +3,8 @@
     ordering policy (arrival, smallest-first, largest-first,
     cheapest-first) packs with [Appro_Multi_Cap]. *)
 
+val spec : Spec.t
+(** Registered as ["batch"]; the family has no request-count knob, so
+    [--requests] is ignored. *)
+
 val run : ?seed:int -> ?n:int -> ?sizes:int list -> unit -> Exp_common.figure list

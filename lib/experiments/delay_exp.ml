@@ -8,51 +8,77 @@ let deadlines = [ 6.0; 10.0; 15.0; 25.0; 50.0 ]
    request sequence (network reset in between), so they stay inside the
    point. *)
 
-let run ?(seed = 1) ?(n = 100) ?(requests = 400) () =
+let instance ?(n = 100) ?(requests = 400) () =
   let deadlines_a = Array.of_list deadlines in
-  let points =
-    Pool.map ~figure:"delay" ~seed (Array.length deadlines_a) (fun ~rng i ->
-        let bound = deadlines_a.(i) in
-        let net = Exp_common.network rng ~n in
-        let spec =
-          { Workload.Gen.default_spec with deadline = Some (bound, bound) }
-        in
-        let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
-        List.map
-          (fun algo ->
-            Sdn.Network.reset net;
-            List.fold_left
-              (fun k r ->
-                match Delay.admit net algo r with Ok _ -> k + 1 | Error _ -> k)
-              0 reqs)
-          algos)
-  in
-  let points = Array.of_list points in
-  [
+  let sweep =
     {
-      Exp_common.id = "delayA";
-      title = "delay-bounded admission: acceptance vs deadline";
-      xlabel = "deadline (ms)";
-      ylabel = "acceptance ratio";
-      series =
-        List.mapi
-          (fun ai a ->
-            {
-              Exp_common.label = Adm.algorithm_to_string a;
-              points =
-                List.mapi
-                  (fun di bound ->
-                    ( bound,
-                      float_of_int (List.nth points.(di) ai)
-                      /. float_of_int requests ))
-                  deadlines;
-            })
-          algos;
-      notes =
-        [
-          Printf.sprintf
-            "n = %d, %d requests; link delay U[0.5, 2] ms, NF processing 0.1–1 ms"
-            n requests;
-        ];
-    };
-  ]
+      Spec.key = "delay";
+      points = Array.length deadlines_a;
+      point =
+        (fun ~rng i ->
+          let bound = deadlines_a.(i) in
+          let net = Exp_common.network rng ~n in
+          let spec =
+            { Workload.Gen.default_spec with deadline = Some (bound, bound) }
+          in
+          let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
+          List.map
+            (fun algo ->
+              Sdn.Network.reset net;
+              let k =
+                List.fold_left
+                  (fun k r ->
+                    match Delay.admit net algo r with
+                    | Ok _ -> k + 1
+                    | Error _ -> k)
+                  0 reqs
+              in
+              ( "accept_" ^ Adm.algorithm_to_string algo,
+                float_of_int k /. float_of_int requests ))
+            algos);
+    }
+  in
+  let figures =
+    [
+      {
+        Spec.fid = "delayA";
+        title = "delay-bounded admission: acceptance vs deadline";
+        xlabel = "deadline (ms)";
+        ylabel = "acceptance ratio";
+        series =
+          List.map
+            (fun a ->
+              let name = Adm.algorithm_to_string a in
+              {
+                Spec.label = name;
+                cells =
+                  List.mapi
+                    (fun di bound ->
+                      {
+                        Spec.x = bound;
+                        sweep = 0;
+                        point = di;
+                        metric = "accept_" ^ name;
+                      })
+                    deadlines;
+              })
+            algos;
+        notes =
+          [
+            Printf.sprintf
+              "n = %d, %d requests; link delay U[0.5, 2] ms, NF processing 0.1–1 ms"
+              n requests;
+          ];
+      };
+    ]
+  in
+  { Spec.sweeps = [ sweep ]; figures }
+
+let spec =
+  Spec.make ~id:"delay"
+    ~doc:"Extension: delay-bounded admission vs deadline tightness"
+    ~figure_ids:[ "delayA" ] ~default_requests:400
+    (fun ~seed:_ ~requests -> instance ?requests ())
+
+let run ?(seed = 1) ?n ?requests () =
+  Runner.figures ~seed (instance ?n ?requests ())

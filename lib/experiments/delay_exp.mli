@@ -4,4 +4,7 @@
     cost model hides: load-aware routing takes detours, so under tight
     deadlines the min-hop SP baseline keeps more of its admissions. *)
 
+val spec : Spec.t
+(** Registered as ["delay"]. *)
+
 val run : ?seed:int -> ?n:int -> ?requests:int -> unit -> Exp_common.figure list

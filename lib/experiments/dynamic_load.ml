@@ -7,28 +7,42 @@ let offered_loads = [ 25.0; 50.0; 100.0; 200.0; 400.0 ]
 (* One pool point = one offered load; the algorithms compare on that
    load's trace, so they run together inside the point. *)
 
-let run ?(seed = 1) ?(n = 100) ?(arrivals = 2000) () =
+let instance ?(n = 100) ?(arrivals = 2000) () =
   let loads_a = Array.of_list offered_loads in
-  let points =
-    Pool.map ~figure:"dyn" ~seed (Array.length loads_a) (fun ~rng i ->
-        let load = loads_a.(i) in
-        let net = Exp_common.network rng ~n in
-        (* mean holding 100 time units; rate follows from the target load *)
-        let trace =
-          Dyn.poisson_trace rng net ~rate:(load /. 100.0) ~mean_holding:100.0
-            ~count:arrivals
-        in
-        List.map (fun algo -> Dyn.run net algo trace) algos)
+  let sweep =
+    {
+      Spec.key = "dyn";
+      points = Array.length loads_a;
+      point =
+        (fun ~rng i ->
+          let load = loads_a.(i) in
+          let net = Exp_common.network rng ~n in
+          (* mean holding 100 time units; rate follows from the target load *)
+          let trace =
+            Dyn.poisson_trace rng net ~rate:(load /. 100.0)
+              ~mean_holding:100.0 ~count:arrivals
+          in
+          List.concat_map
+            (fun algo ->
+              let s = Dyn.run net algo trace in
+              let name = Adm.algorithm_to_string algo in
+              [
+                ("accept_" ^ name, s.Dyn.acceptance_ratio);
+                ("util_" ^ name, s.Dyn.mean_utilization);
+              ])
+            algos);
+    }
   in
-  let points = Array.of_list points in
-  let series f =
-    List.mapi
-      (fun ai algo ->
+  let series prefix =
+    List.map
+      (fun algo ->
+        let name = Adm.algorithm_to_string algo in
         {
-          Exp_common.label = Adm.algorithm_to_string algo;
-          points =
+          Spec.label = name;
+          cells =
             List.mapi
-              (fun li load -> (load, f (List.nth points.(li) ai)))
+              (fun li load ->
+                { Spec.x = load; sweep = 0; point = li; metric = prefix ^ name })
               offered_loads;
         })
       algos
@@ -38,21 +52,33 @@ let run ?(seed = 1) ?(n = 100) ?(arrivals = 2000) () =
       "n = %d, %d Poisson arrivals, exponential holding (mean 100); x = expected concurrent sessions"
       n arrivals
   in
-  [
-    {
-      Exp_common.id = "dynA";
-      title = "acceptance ratio vs offered load (with departures)";
-      xlabel = "offered load";
-      ylabel = "acceptance ratio";
-      series = series (fun s -> s.Dyn.acceptance_ratio);
-      notes = [ note ];
-    };
-    {
-      Exp_common.id = "dynB";
-      title = "time-averaged link utilisation vs offered load";
-      xlabel = "offered load";
-      ylabel = "mean utilisation";
-      series = series (fun s -> s.Dyn.mean_utilization);
-      notes = [ note ];
-    };
-  ]
+  let figures =
+    [
+      {
+        Spec.fid = "dynA";
+        title = "acceptance ratio vs offered load (with departures)";
+        xlabel = "offered load";
+        ylabel = "acceptance ratio";
+        series = series "accept_";
+        notes = [ note ];
+      };
+      {
+        Spec.fid = "dynB";
+        title = "time-averaged link utilisation vs offered load";
+        xlabel = "offered load";
+        ylabel = "mean utilisation";
+        series = series "util_";
+        notes = [ note ];
+      };
+    ]
+  in
+  { Spec.sweeps = [ sweep ]; figures }
+
+let spec =
+  Spec.make ~id:"dynamic"
+    ~doc:"Extension: acceptance under request departures vs offered load"
+    ~figure_ids:[ "dynA"; "dynB" ] ~default_requests:2000
+    (fun ~seed:_ ~requests -> instance ?arrivals:requests ())
+
+let run ?(seed = 1) ?n ?arrivals () =
+  Runner.figures ~seed (instance ?n ?arrivals ())

@@ -4,6 +4,9 @@
     departures the same admission policies reach a steady state whose
     acceptance ratio separates load-aware from load-oblivious routing. *)
 
+val spec : Spec.t
+(** Registered as ["dynamic"]; [--requests] maps to the arrival count. *)
+
 val run :
   ?seed:int -> ?n:int -> ?arrivals:int -> unit -> Exp_common.figure list
 (** Acceptance ratio and time-averaged utilisation vs offered load

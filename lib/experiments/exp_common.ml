@@ -111,15 +111,16 @@ let as1755_network rng =
 let as4755_network rng =
   Sdn.Network.make_random_servers ~fraction:0.1 ~rng (Topology.Rocketfuel.as4755 ())
 
-(* swappable so the parallel-determinism tests (and bench --fake-clock)
-   can time with a deterministic per-domain tick counter instead of the
-   process-wide Sys.time *)
-let clock = ref Sys.time
+(* One process-wide time source: [Nfv_obs.Obs.clock]. The experiments
+   layer used to keep a second ref that had to be kept in sync with the
+   telemetry clock by hand; [clock] is now an alias of the same ref and
+   is deprecated in the interface. *)
+let clock = Nfv_obs.Obs.clock
 
 let time_of f =
-  let t0 = !clock () in
+  let t0 = !Nfv_obs.Obs.clock () in
   let x = f () in
-  (x, !clock () -. t0)
+  (x, !Nfv_obs.Obs.clock () -. t0)
 
 (* One tick per read, counted per domain (domain-local state), so the
    number of ticks a measured region consumes depends only on the code
@@ -141,9 +142,7 @@ let fake_clock () =
   t := !t +. tick;
   !t
 
-let install_fake_clock () =
-  clock := fake_clock;
-  Nfv_obs.Obs.clock := fake_clock
+let install_fake_clock () = Nfv_obs.Obs.clock := fake_clock
 
 let mean = function
   | [] -> 0.0

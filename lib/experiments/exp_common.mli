@@ -49,24 +49,29 @@ val as1755_network : Topology.Rng.t -> Sdn.Network.t
 val as4755_network : Topology.Rng.t -> Sdn.Network.t
 
 val clock : (unit -> float) ref
-(** Time source for {!time_of}, seconds. Defaults to [Sys.time]
-    (process CPU time). Under [--jobs N] the default clock charges a
-    point with CPU burnt by sibling domains too, so treat parallel-run
-    time columns as upper bounds — or install the fake clock for
-    determinism checks. *)
+[@@ocaml.deprecated
+  "Exp_common.clock is an alias of Nfv_obs.Obs.clock; set that instead."]
+(** The process time source. This is {e the same ref} as
+    [Nfv_obs.Obs.clock] — there is one clock for experiments and
+    telemetry — kept only for source compatibility. *)
 
 val time_of : (unit -> 'a) -> 'a * float
-(** Result and elapsed seconds per {!clock}. *)
+(** Result and elapsed seconds per [Nfv_obs.Obs.clock] (default
+    [Sys.time], process CPU time). Under [--jobs N] the default clock
+    charges a region with CPU burnt by sibling domains too, so treat
+    parallel-run wall-clock totals as upper bounds — or install the
+    fake clock for determinism checks. *)
 
 val install_fake_clock : unit -> unit
-(** Replace {!clock} {e and} [Nfv_obs.Obs.clock] with a deterministic
-    per-domain tick counter (one tick of 2{^-13} s ≈ 0.12 ms per read,
-    domain-local state; the dyadic tick keeps clock differences exact in
-    floating point). The ticks a measured region consumes then depend
-    only on the code it runs, never on scheduling, which is what makes
-    figure timing columns byte-identical across [--jobs] settings.
-    Process global and irreversible; meant for the determinism tests and
-    [bench --fake-clock]. *)
+(** Replace [Nfv_obs.Obs.clock] (the one process clock, also read by
+    {!time_of}) with a deterministic per-domain tick counter (one tick
+    of 2{^-13} s ≈ 0.12 ms per read, domain-local state; the dyadic
+    tick keeps clock differences — and histogram sums of them — exact
+    in floating point). The ticks a measured region consumes then
+    depend only on the code it runs, never on scheduling, which is what
+    makes figure timing columns byte-identical across [--jobs]
+    settings. Process global and irreversible; meant for the
+    determinism tests and [bench --fake-clock]. *)
 
 val mean : float list -> float
 (** 0 on the empty list. *)

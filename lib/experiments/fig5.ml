@@ -2,75 +2,78 @@ module A = Nfv_multicast.Appro_multi
 module O = Nfv_multicast.One_server
 
 let ratios = [ (0.05, 'a', 'd'); (0.1, 'b', 'e'); (0.2, 'c', 'f') ]
+let default_sizes = [ 50; 100; 150; 200; 250 ]
 
 (* one data point = one (destination ratio, network size) pair; the
    point derives everything — topology, servers, requests — from the
    rng the pool hands it, so points are independent and the pool can
    run them on any domain in any order *)
-type point = {
-  mean_cost_appro : float;
-  mean_cost_one : float;
-  mean_ms_appro : float;
-  mean_ms_one : float;
-}
+let point ~requests ~ratio ~n ~rng =
+  let net = Exp_common.network rng ~n in
+  let spec = { Workload.Gen.default_spec with dmax_ratio = Some ratio } in
+  let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
+  let pa = Runner.span_probe "appro_multi.solve" in
+  let po = Runner.span_probe "one_server.solve" in
+  let ca = ref [] and co = ref [] in
+  List.iter
+    (fun r ->
+      (match A.solve ~k:3 net r with
+      | Ok res -> ca := res.A.cost :: !ca
+      | Error _ -> ());
+      match O.solve net r with
+      | Ok res -> co := res.O.cost :: !co
+      | Error _ -> ())
+    reqs;
+  [
+    ("cost_appro", Exp_common.mean !ca);
+    ("cost_one", Exp_common.mean !co);
+    ("ms_appro", Runner.span_mean_ms pa);
+    ("ms_one", Runner.span_mean_ms po);
+  ]
 
-let run ?(seed = 1) ?(requests = 30) ?(sizes = [ 50; 100; 150; 200; 250 ]) () =
+let instance ?(requests = 30) ?(sizes = default_sizes) () =
   let params =
     Array.of_list
       (List.concat_map
          (fun (ratio, _, _) -> List.map (fun n -> (ratio, n)) sizes)
          ratios)
   in
-  let points =
-    Pool.map ~figure:"fig5" ~seed (Array.length params) (fun ~rng i ->
-        let ratio, n = params.(i) in
-        let net = Exp_common.network rng ~n in
-        let spec = { Workload.Gen.default_spec with dmax_ratio = Some ratio } in
-        let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
-        let ca = ref [] and co = ref [] and ta = ref [] and to_ = ref [] in
-        List.iter
-          (fun r ->
-            let res_a, t_a = Exp_common.time_of (fun () -> A.solve ~k:3 net r) in
-            let res_o, t_o = Exp_common.time_of (fun () -> O.solve net r) in
-            (match res_a with
-            | Ok res ->
-              ca := res.A.cost :: !ca;
-              ta := t_a :: !ta
-            | Error _ -> ());
-            match res_o with
-            | Ok res ->
-              co := res.O.cost :: !co;
-              to_ := t_o :: !to_
-            | Error _ -> ())
-          reqs;
-        {
-          mean_cost_appro = Exp_common.mean !ca;
-          mean_cost_one = Exp_common.mean !co;
-          mean_ms_appro = 1000.0 *. Exp_common.mean !ta;
-          mean_ms_one = 1000.0 *. Exp_common.mean !to_;
-        })
+  let sweep =
+    {
+      Spec.key = "fig5";
+      points = Array.length params;
+      point =
+        (fun ~rng i ->
+          let ratio, n = params.(i) in
+          point ~requests ~ratio ~n ~rng);
+    }
   in
-  let points = Array.of_list points in
   let per_size = List.length sizes in
   let figures =
     List.concat
       (List.mapi
          (fun ri (ratio, cost_tag, time_tag) ->
-           let row f =
+           let row metric =
              List.mapi
-               (fun si n -> (float_of_int n, f points.((ri * per_size) + si)))
+               (fun si n ->
+                 {
+                   Spec.x = float_of_int n;
+                   sweep = 0;
+                   point = (ri * per_size) + si;
+                   metric;
+                 })
                sizes
            in
-           let mk id title ylabel s1 s2 =
+           let mk fid title ylabel m1 m2 =
              {
-               Exp_common.id;
+               Spec.fid;
                title;
                xlabel = "|V|";
                ylabel;
                series =
                  [
-                   { Exp_common.label = "Appro_Multi"; points = s1 };
-                   { Exp_common.label = "Alg_One_Server"; points = s2 };
+                   { Spec.label = "Appro_Multi"; cells = row m1 };
+                   { Spec.label = "Alg_One_Server"; cells = row m2 };
                  ];
                notes =
                  [
@@ -83,15 +86,26 @@ let run ?(seed = 1) ?(requests = 30) ?(sizes = [ 50; 100; 150; 200; 250 ]) () =
            [
              mk
                (Printf.sprintf "fig5%c" cost_tag)
-               "operational cost vs network size" "mean cost"
-               (row (fun p -> p.mean_cost_appro))
-               (row (fun p -> p.mean_cost_one));
+               "operational cost vs network size" "mean cost" "cost_appro"
+               "cost_one";
              mk
                (Printf.sprintf "fig5%c" time_tag)
-               "running time vs network size" "ms per request"
-               (row (fun p -> p.mean_ms_appro))
-               (row (fun p -> p.mean_ms_one));
+               "running time vs network size" "ms per request" "ms_appro"
+               "ms_one";
            ])
          ratios)
   in
-  List.sort (fun a b -> compare a.Exp_common.id b.Exp_common.id) figures
+  let figures =
+    List.sort (fun a b -> compare a.Spec.fid b.Spec.fid) figures
+  in
+  { Spec.sweeps = [ sweep ]; figures }
+
+let spec =
+  Spec.make ~id:"fig5"
+    ~doc:"Fig. 5: Appro_Multi vs Alg_One_Server on random networks"
+    ~figure_ids:[ "fig5a"; "fig5b"; "fig5c"; "fig5d"; "fig5e"; "fig5f" ]
+    ~default_requests:30
+    (fun ~seed:_ ~requests -> instance ?requests ())
+
+let run ?(seed = 1) ?requests ?sizes () =
+  Runner.figures ~seed (instance ?requests ?sizes ())

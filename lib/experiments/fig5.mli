@@ -6,6 +6,10 @@
     Paper shape: Appro_Multi's cost ≈ 70–85 % of Alg_One_Server's, gap
     widening with network size; Appro_Multi slightly slower. *)
 
+val spec : Spec.t
+(** The registered experiment. Timing columns read the
+    ["appro_multi.solve"] / ["one_server.solve"] span histograms. *)
+
 val run : ?seed:int -> ?requests:int -> ?sizes:int list -> unit -> Exp_common.figure list
 (** Defaults: seed 1, 30 requests averaged per data point (the paper
     averages 1 000 — raise [requests] to match), sizes

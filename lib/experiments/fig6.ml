@@ -3,93 +3,101 @@ module O = Nfv_multicast.One_server
 
 let ratios = [ 0.05; 0.1; 0.15; 0.2 ]
 
-type point = {
-  mean_cost_appro : float;
-  mean_cost_one : float;
-  mean_ms_appro : float;
-  mean_ms_one : float;
-}
-
 let nets =
   [
     ("GEANT", 'a', 'c', fun rng -> Exp_common.geant_network rng);
     ("AS1755", 'b', 'd', fun rng -> Exp_common.as1755_network rng);
   ]
 
-let run ?(seed = 1) ?(requests = 100) () =
+(* one data point = one (topology, destination ratio) pair *)
+let point ~requests ~make_net ~ratio ~rng =
+  let net = make_net rng in
+  let spec = { Workload.Gen.default_spec with dmax_ratio = Some ratio } in
+  let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
+  let pa = Runner.span_probe "appro_multi.solve" in
+  let po = Runner.span_probe "one_server.solve" in
+  let ca = ref [] and co = ref [] in
+  List.iter
+    (fun r ->
+      (match A.solve ~k:3 net r with
+      | Ok res -> ca := res.A.cost :: !ca
+      | Error _ -> ());
+      match O.solve net r with
+      | Ok res -> co := res.O.cost :: !co
+      | Error _ -> ())
+    reqs;
+  [
+    ("cost_appro", Exp_common.mean !ca);
+    ("cost_one", Exp_common.mean !co);
+    ("ms_appro", Runner.span_mean_ms pa);
+    ("ms_one", Runner.span_mean_ms po);
+  ]
+
+let instance ?(requests = 100) () =
   let params =
     Array.of_list
       (List.concat_map
          (fun (_, _, _, make_net) -> List.map (fun r -> (make_net, r)) ratios)
          nets)
   in
-  let points =
-    Pool.map ~figure:"fig6" ~seed (Array.length params) (fun ~rng i ->
-        let make_net, ratio = params.(i) in
-        let net = make_net rng in
-        let spec = { Workload.Gen.default_spec with dmax_ratio = Some ratio } in
-        let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
-        let ca = ref [] and co = ref [] and ta = ref [] and to_ = ref [] in
-        List.iter
-          (fun r ->
-            let res_a, t_a = Exp_common.time_of (fun () -> A.solve ~k:3 net r) in
-            let res_o, t_o = Exp_common.time_of (fun () -> O.solve net r) in
-            (match res_a with
-            | Ok res ->
-              ca := res.A.cost :: !ca;
-              ta := t_a :: !ta
-            | Error _ -> ());
-            match res_o with
-            | Ok res ->
-              co := res.O.cost :: !co;
-              to_ := t_o :: !to_
-            | Error _ -> ())
-          reqs;
-        {
-          mean_cost_appro = Exp_common.mean !ca;
-          mean_cost_one = Exp_common.mean !co;
-          mean_ms_appro = 1000.0 *. Exp_common.mean !ta;
-          mean_ms_one = 1000.0 *. Exp_common.mean !to_;
-        })
+  let sweep =
+    {
+      Spec.key = "fig6";
+      points = Array.length params;
+      point =
+        (fun ~rng i ->
+          let make_net, ratio = params.(i) in
+          point ~requests ~make_net ~ratio ~rng);
+    }
   in
-  let points = Array.of_list points in
   let per_net = List.length ratios in
-  List.concat
-    (List.mapi
-       (fun ni (name, cost_tag, time_tag, _) ->
-         let row f =
-           List.mapi (fun ri r -> (r, f points.((ni * per_net) + ri))) ratios
-         in
-         let mk id title ylabel s1 s2 =
-           {
-             Exp_common.id;
-             title;
-             xlabel = "Dmax/|V|";
-             ylabel;
-             series =
-               [
-                 { Exp_common.label = "Appro_Multi"; points = s1 };
-                 { Exp_common.label = "Alg_One_Server"; points = s2 };
-               ];
-             notes =
-               [
-                 Printf.sprintf "%s, K = 3, %d requests averaged per point" name
-                   requests;
-               ];
-           }
-         in
-         [
-           mk
-             (Printf.sprintf "fig6%c" cost_tag)
-             ("operational cost in " ^ name)
-             "mean cost"
-             (row (fun p -> p.mean_cost_appro))
-             (row (fun p -> p.mean_cost_one));
-           mk
-             (Printf.sprintf "fig6%c" time_tag)
-             ("running time in " ^ name)
-             "ms per request"
-             (row (fun p -> p.mean_ms_appro))
-             (row (fun p -> p.mean_ms_one));
-         ])
-       nets)
+  let figures =
+    List.concat
+      (List.mapi
+         (fun ni (name, cost_tag, time_tag, _) ->
+           let row metric =
+             List.mapi
+               (fun ri r ->
+                 { Spec.x = r; sweep = 0; point = (ni * per_net) + ri; metric })
+               ratios
+           in
+           let mk fid title ylabel m1 m2 =
+             {
+               Spec.fid;
+               title;
+               xlabel = "Dmax/|V|";
+               ylabel;
+               series =
+                 [
+                   { Spec.label = "Appro_Multi"; cells = row m1 };
+                   { Spec.label = "Alg_One_Server"; cells = row m2 };
+                 ];
+               notes =
+                 [
+                   Printf.sprintf "%s, K = 3, %d requests averaged per point"
+                     name requests;
+                 ];
+             }
+           in
+           [
+             mk
+               (Printf.sprintf "fig6%c" cost_tag)
+               ("operational cost in " ^ name)
+               "mean cost" "cost_appro" "cost_one";
+             mk
+               (Printf.sprintf "fig6%c" time_tag)
+               ("running time in " ^ name)
+               "ms per request" "ms_appro" "ms_one";
+           ])
+         nets)
+  in
+  { Spec.sweeps = [ sweep ]; figures }
+
+let spec =
+  Spec.make ~id:"fig6"
+    ~doc:"Fig. 6: Appro_Multi vs Alg_One_Server in GEANT and AS1755"
+    ~figure_ids:[ "fig6a"; "fig6c"; "fig6b"; "fig6d" ]
+    ~default_requests:100
+    (fun ~seed:_ ~requests -> instance ?requests ())
+
+let run ?(seed = 1) ?requests () = Runner.figures ~seed (instance ?requests ())

@@ -5,5 +5,7 @@
     Paper shape: Appro_Multi clearly cheaper (≈ 30 % lower cost in
     AS1755 at ratio 0.15), slightly slower. *)
 
+val spec : Spec.t
+
 val run : ?seed:int -> ?requests:int -> unit -> Exp_common.figure list
 (** Defaults: seed 1, 100 requests averaged per point. *)

@@ -8,92 +8,90 @@ module A = Nfv_multicast.Appro_multi
    inherently sequential (each admit sees the residuals its
    predecessors left), so it stays inside the point. *)
 
-type point = {
-  mean_cost_cap : float;
-  mean_cost_uncap : float;
-  mean_ms_cap : float;
-  admitted_frac : float;
-}
+let point ~requests ~n ~rng =
+  let net = Exp_common.network rng ~n in
+  let spec = { Workload.Gen.default_spec with dmax_ratio = Some 0.2 } in
+  let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
+  (* uncapacitated reference on a fresh network *)
+  let cu = ref [] in
+  List.iter
+    (fun r ->
+      match A.solve ~k:3 net r with
+      | Ok res -> cu := res.A.cost :: !cu
+      | Error _ -> ())
+    reqs;
+  (* capacitated, allocating as we go *)
+  Sdn.Network.reset net;
+  let pc = Runner.span_probe "appro_multi.admit" in
+  let cc = ref [] and adm = ref 0 in
+  List.iter
+    (fun r ->
+      match A.admit ~k:3 net r with
+      | Ok res ->
+        incr adm;
+        cc := res.A.cost :: !cc
+      | Error _ -> ())
+    reqs;
+  [
+    ("cost_cap", Exp_common.mean !cc);
+    ("cost_uncap", Exp_common.mean !cu);
+    ("ms_cap", Runner.span_mean_ms pc);
+    ("admitted_frac", float_of_int !adm /. float_of_int requests);
+  ]
 
-let run ?(seed = 1) ?(requests = 120) ?(sizes = [ 50; 100; 150; 200; 250 ]) () =
+let instance ?(requests = 120) ?(sizes = [ 50; 100; 150; 200; 250 ]) () =
   let sizes_a = Array.of_list sizes in
-  let points =
-    Pool.map ~figure:"fig7" ~seed (Array.length sizes_a) (fun ~rng i ->
-        let n = sizes_a.(i) in
-        let net = Exp_common.network rng ~n in
-        let spec = { Workload.Gen.default_spec with dmax_ratio = Some 0.2 } in
-        let reqs = Workload.Gen.sequence ~spec rng net ~count:requests in
-        (* uncapacitated reference on a fresh network *)
-        let cu = ref [] in
-        List.iter
-          (fun r ->
-            match A.solve ~k:3 net r with
-            | Ok res -> cu := res.A.cost :: !cu
-            | Error _ -> ())
-          reqs;
-        (* capacitated, allocating as we go *)
-        Sdn.Network.reset net;
-        let cc = ref [] and tc = ref [] and adm = ref 0 in
-        List.iter
-          (fun r ->
-            let res, t = Exp_common.time_of (fun () -> A.admit ~k:3 net r) in
-            match res with
-            | Ok res ->
-              incr adm;
-              cc := res.A.cost :: !cc;
-              tc := t :: !tc
-            | Error _ -> ())
-          reqs;
-        {
-          mean_cost_cap = Exp_common.mean !cc;
-          mean_cost_uncap = Exp_common.mean !cu;
-          mean_ms_cap = 1000.0 *. Exp_common.mean !tc;
-          admitted_frac = float_of_int !adm /. float_of_int requests;
-        })
+  let sweep =
+    {
+      Spec.key = "fig7";
+      points = Array.length sizes_a;
+      point = (fun ~rng i -> point ~requests ~n:sizes_a.(i) ~rng);
+    }
   in
-  let points = Array.of_list points in
-  let row f =
-    List.mapi (fun i n -> (float_of_int n, f points.(i))) sizes
+  let row metric =
+    List.mapi
+      (fun i n -> { Spec.x = float_of_int n; sweep = 0; point = i; metric })
+      sizes
   in
   let note =
     Printf.sprintf "Dmax/|V| = 0.2, K = 3, %d sequentially admitted requests"
       requests
   in
-  [
-    {
-      Exp_common.id = "fig7a";
-      title = "Appro_Multi_Cap operational cost vs network size";
-      xlabel = "|V|";
-      ylabel = "mean cost";
-      series =
-        [
-          {
-            Exp_common.label = "Appro_Multi_Cap";
-            points = row (fun p -> p.mean_cost_cap);
-          };
-          {
-            Exp_common.label = "Appro_Multi (uncap)";
-            points = row (fun p -> p.mean_cost_uncap);
-          };
-        ];
-      notes = [ note ];
-    };
-    {
-      Exp_common.id = "fig7b";
-      title = "Appro_Multi_Cap running time vs network size";
-      xlabel = "|V|";
-      ylabel = "ms per request";
-      series =
-        [
-          {
-            Exp_common.label = "Appro_Multi_Cap";
-            points = row (fun p -> p.mean_ms_cap);
-          };
-          {
-            Exp_common.label = "admitted fraction";
-            points = row (fun p -> p.admitted_frac);
-          };
-        ];
-      notes = [ note ];
-    };
-  ]
+  let figures =
+    [
+      {
+        Spec.fid = "fig7a";
+        title = "Appro_Multi_Cap operational cost vs network size";
+        xlabel = "|V|";
+        ylabel = "mean cost";
+        series =
+          [
+            { Spec.label = "Appro_Multi_Cap"; cells = row "cost_cap" };
+            { Spec.label = "Appro_Multi (uncap)"; cells = row "cost_uncap" };
+          ];
+        notes = [ note ];
+      };
+      {
+        Spec.fid = "fig7b";
+        title = "Appro_Multi_Cap running time vs network size";
+        xlabel = "|V|";
+        ylabel = "ms per request";
+        series =
+          [
+            { Spec.label = "Appro_Multi_Cap"; cells = row "ms_cap" };
+            { Spec.label = "admitted fraction"; cells = row "admitted_frac" };
+          ];
+        notes = [ note ];
+      };
+    ]
+  in
+  { Spec.sweeps = [ sweep ]; figures }
+
+let spec =
+  Spec.make ~id:"fig7"
+    ~doc:"Fig. 7: Appro_Multi_Cap under capacity constraints"
+    ~figure_ids:[ "fig7a"; "fig7b" ] ~default_requests:120
+    (fun ~seed:_ ~requests -> instance ?requests ())
+
+let run ?(seed = 1) ?requests ?sizes () =
+  Runner.figures ~seed (instance ?requests ?sizes ())

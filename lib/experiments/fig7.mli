@@ -7,4 +7,8 @@
     Paper shape: the capacitated cost is higher, because pruning shrinks
     the set of server combinations the algorithm can exploit. *)
 
+val spec : Spec.t
+(** Timing reads the ["appro_multi.admit"] span histogram — every
+    admit attempt, rejected ones included. *)
+
 val run : ?seed:int -> ?requests:int -> ?sizes:int list -> unit -> Exp_common.figure list

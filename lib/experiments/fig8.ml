@@ -2,29 +2,54 @@ module Adm = Nfv_multicast.Admission
 
 let algos = [ Adm.Online_cp; Adm.Online_cp_no_threshold; Adm.Sp ]
 
+let admit_span = function
+  | Adm.Sp -> "online_sp.admit"
+  | Adm.Online_cp | Adm.Online_cp_no_threshold | Adm.Online_linear ->
+    "online_cp.admit"
+
 (* One pool point = one network size. The three algorithms must race on
    the {e same} network and request sequence, so they stay together
-   inside the point rather than becoming points of their own. *)
+   inside the point rather than becoming points of their own. A probe
+   around each algorithm's run separates the two Online_CP variants'
+   contributions to the shared "online_cp.admit" histogram. *)
+let point ~requests ~n ~rng =
+  let net = Exp_common.network rng ~n in
+  let reqs = Workload.Gen.sequence rng net ~count:requests in
+  List.concat_map
+    (fun algo ->
+      let p = Runner.span_probe (admit_span algo) in
+      let s = Adm.run net algo reqs in
+      let name = Adm.algorithm_to_string algo in
+      [
+        ("admitted_" ^ name, float_of_int s.Adm.admitted);
+        ("ms_" ^ name, Runner.span_mean_ms p);
+      ])
+    algos
 
-let run ?(seed = 1) ?(requests = 1500) ?(sizes = [ 50; 100; 150; 200; 250 ]) () =
+let instance ?(requests = 1500) ?(sizes = [ 50; 100; 150; 200; 250 ]) () =
   let sizes_a = Array.of_list sizes in
-  let points =
-    Pool.map ~figure:"fig8" ~seed (Array.length sizes_a) (fun ~rng i ->
-        let n = sizes_a.(i) in
-        let net = Exp_common.network rng ~n in
-        let reqs = Workload.Gen.sequence rng net ~count:requests in
-        List.map (fun algo -> Adm.run net algo reqs) algos)
+  let sweep =
+    {
+      Spec.key = "fig8";
+      points = Array.length sizes_a;
+      point = (fun ~rng i -> point ~requests ~n:sizes_a.(i) ~rng);
+    }
   in
-  let points = Array.of_list points in
-  let series f =
-    List.mapi
-      (fun ai algo ->
+  let series prefix =
+    List.map
+      (fun algo ->
+        let name = Adm.algorithm_to_string algo in
         {
-          Exp_common.label = Adm.algorithm_to_string algo;
-          points =
+          Spec.label = name;
+          cells =
             List.mapi
               (fun si n ->
-                (float_of_int n, f (List.nth points.(si) ai)))
+                {
+                  Spec.x = float_of_int n;
+                  sweep = 0;
+                  point = si;
+                  metric = prefix ^ name;
+                })
               sizes;
         })
       algos
@@ -37,22 +62,32 @@ let run ?(seed = 1) ?(requests = 1500) ?(sizes = [ 50; 100; 150; 200; 250 ]) () 
       "Online_CP_noSigma = Algorithm 2 without the σ admission thresholds";
     ]
   in
-  [
-    {
-      Exp_common.id = "fig8a";
-      title = "admitted requests vs network size";
-      xlabel = "|V|";
-      ylabel = "admitted";
-      series = series (fun s -> float_of_int s.Adm.admitted);
-      notes;
-    };
-    {
-      Exp_common.id = "fig8b";
-      title = "online running time vs network size";
-      xlabel = "|V|";
-      ylabel = "ms per request";
-      series =
-        series (fun s -> 1000.0 *. s.Adm.runtime_s /. float_of_int requests);
-      notes = [ List.hd notes ];
-    };
-  ]
+  let figures =
+    [
+      {
+        Spec.fid = "fig8a";
+        title = "admitted requests vs network size";
+        xlabel = "|V|";
+        ylabel = "admitted";
+        series = series "admitted_";
+        notes;
+      };
+      {
+        Spec.fid = "fig8b";
+        title = "online running time vs network size";
+        xlabel = "|V|";
+        ylabel = "ms per request";
+        series = series "ms_";
+        notes = [ List.hd notes ];
+      };
+    ]
+  in
+  { Spec.sweeps = [ sweep ]; figures }
+
+let spec =
+  Spec.make ~id:"fig8" ~doc:"Fig. 8: Online_CP vs SP across network sizes"
+    ~figure_ids:[ "fig8a"; "fig8b" ] ~default_requests:1500
+    (fun ~seed:_ ~requests -> instance ?requests ())
+
+let run ?(seed = 1) ?requests ?sizes () =
+  Runner.figures ~seed (instance ?requests ?sizes ())

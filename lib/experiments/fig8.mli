@@ -7,4 +7,10 @@
     size because destination sets scale with |V|. Our default sequence
     length can be raised with [requests] to deepen contention. *)
 
+val spec : Spec.t
+(** The "(ms per request)" column is the mean of the per-request
+    ["online_cp.admit"] / ["online_sp.admit"] span histograms over each
+    algorithm's run — per-request instrumentation, not the batch
+    wall-clock divided by the request count. *)
+
 val run : ?seed:int -> ?requests:int -> ?sizes:int list -> unit -> Exp_common.figure list

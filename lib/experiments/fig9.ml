@@ -8,48 +8,83 @@ let nets =
     ("AS1755", 'b', fun rng -> Exp_common.as1755_network rng);
   ]
 
-(* One pool point = one topology; the three algorithms share its network
-   and request sequence, so they run together inside the point. *)
+let prefixes_of requests =
+  List.sort_uniq compare
+    (requests
+    :: List.filter
+         (fun p -> p <= requests)
+         [ 50; 100; 150; 200; 250; 300; 600; 1000; 1500 ])
 
-let run ?(seed = 1) ?(requests = 1500) () =
-  let prefixes =
-    List.sort_uniq compare
-      (requests
-      :: List.filter
-           (fun p -> p <= requests)
-           [ 50; 100; 150; 200; 250; 300; 600; 1000; 1500 ])
-  in
+(* One pool point = one topology; the three algorithms share its network
+   and request sequence, so they run together inside the point. An
+   online algorithm's first [n] decisions do not depend on later
+   arrivals, so one full-length run yields every prefix as a metric. *)
+let point ~requests ~prefixes ~make_net ~rng =
+  let net = make_net rng in
+  let reqs = Workload.Gen.sequence rng net ~count:requests in
+  List.concat_map
+    (fun algo ->
+      let stats = Adm.run net algo reqs in
+      let name = Adm.algorithm_to_string algo in
+      List.map
+        (fun p ->
+          ( Printf.sprintf "adm_%s@%d" name p,
+            float_of_int (Adm.admitted_after stats p) ))
+        prefixes)
+    algos
+
+let instance ?(requests = 1500) () =
+  let prefixes = prefixes_of requests in
   let nets_a = Array.of_list nets in
-  let points =
-    Pool.map ~figure:"fig9" ~seed (Array.length nets_a) (fun ~rng i ->
-        let _, _, make_net = nets_a.(i) in
-        let net = make_net rng in
-        let reqs = Workload.Gen.sequence rng net ~count:requests in
-        List.map (fun algo -> Adm.run net algo reqs) algos)
+  let sweep =
+    {
+      Spec.key = "fig9";
+      points = Array.length nets_a;
+      point =
+        (fun ~rng i ->
+          let _, _, make_net = nets_a.(i) in
+          point ~requests ~prefixes ~make_net ~rng);
+    }
   in
-  List.map2
-    (fun (name, tag, _) stats_by_algo ->
-      let curve stats =
-        List.map
-          (fun p -> (float_of_int p, float_of_int (Adm.admitted_after stats p)))
-          prefixes
-      in
-      let series =
-        List.map2
-          (fun algo stats ->
-            { Exp_common.label = Adm.algorithm_to_string algo; points = curve stats })
-          algos stats_by_algo
-      in
-      {
-        Exp_common.id = Printf.sprintf "fig9%c" tag;
-        title = "admitted requests vs sequence length in " ^ name;
-        xlabel = "requests";
-        ylabel = "admitted";
-        series;
-        notes =
-          [
-            Printf.sprintf "%s, K = 1, prefix counts of one %d-request run" name
-              requests;
-          ];
-      })
-    nets points
+  let figures =
+    List.mapi
+      (fun ni (name, tag, _) ->
+        {
+          Spec.fid = Printf.sprintf "fig9%c" tag;
+          title = "admitted requests vs sequence length in " ^ name;
+          xlabel = "requests";
+          ylabel = "admitted";
+          series =
+            List.map
+              (fun algo ->
+                let aname = Adm.algorithm_to_string algo in
+                {
+                  Spec.label = aname;
+                  cells =
+                    List.map
+                      (fun p ->
+                        {
+                          Spec.x = float_of_int p;
+                          sweep = 0;
+                          point = ni;
+                          metric = Printf.sprintf "adm_%s@%d" aname p;
+                        })
+                      prefixes;
+                })
+              algos;
+          notes =
+            [
+              Printf.sprintf "%s, K = 1, prefix counts of one %d-request run"
+                name requests;
+            ];
+        })
+      nets
+  in
+  { Spec.sweeps = [ sweep ]; figures }
+
+let spec =
+  Spec.make ~id:"fig9" ~doc:"Fig. 9: Online_CP vs SP in GEANT and AS1755"
+    ~figure_ids:[ "fig9a"; "fig9b" ] ~default_requests:1500
+    (fun ~seed:_ ~requests -> instance ?requests ())
+
+let run ?(seed = 1) ?requests () = Runner.figures ~seed (instance ?requests ())

@@ -7,4 +7,6 @@
     later arrivals, a single 300-request run yields every prefix
     point. *)
 
+val spec : Spec.t
+
 val run : ?seed:int -> ?requests:int -> unit -> Exp_common.figure list

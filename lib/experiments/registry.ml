@@ -1,0 +1,20 @@
+(* The one list every frontend enumerates. Order is presentation order:
+   the paper's figures first, then the ablations and extensions, then
+   the stress telemetry sweep. *)
+let all : Spec.t list =
+  [
+    Fig5.spec;
+    Fig6.spec;
+    Fig7.spec;
+    Fig8.spec;
+    Fig9.spec;
+    Ablation.spec;
+    Dynamic_load.spec;
+    Batch_order.spec;
+    Delay_exp.spec;
+    Table_exp.spec;
+    Stress.spec;
+  ]
+
+let ids = List.map (fun s -> s.Spec.id) all
+let find id = List.find_opt (fun s -> String.equal s.Spec.id id) all

@@ -1,0 +1,15 @@
+(** The experiment registry: every family's {!Spec.t}, in presentation
+    order. The bench harness and the CLI enumerate this list instead of
+    hard-coding figure names, so registering a spec here is all it takes
+    to appear in [--figure], in the [all] run, and in the CLI's
+    subcommands. *)
+
+val all : Spec.t list
+(** Every registered family: fig5–fig9, ablation, dynamic, batch, delay,
+    tables, stress. *)
+
+val ids : string list
+(** The ids of {!all}, in the same order. *)
+
+val find : string -> Spec.t option
+(** Look a family up by its [Spec.id]. *)

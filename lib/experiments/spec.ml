@@ -1,0 +1,112 @@
+type point_result = (string * float) list
+
+type sweep = {
+  key : string;
+  points : int;
+  point : rng:Topology.Rng.t -> int -> point_result;
+}
+
+type cell = {
+  x : float;
+  sweep : int;
+  point : int;
+  metric : string;
+}
+
+type series_def = {
+  label : string;
+  cells : cell list;
+}
+
+type figure_def = {
+  fid : string;
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  notes : string list;
+  series : series_def list;
+}
+
+type instance = {
+  sweeps : sweep list;
+  figures : figure_def list;
+}
+
+type t = {
+  id : string;
+  doc : string;
+  figure_ids : string list;
+  default_requests : int option;
+  instance : seed:int -> requests:int option -> instance;
+}
+
+let make ~id ~doc ~figure_ids ?default_requests instance =
+  { id; doc; figure_ids; default_requests; instance }
+
+let concat_instances insts =
+  let _, sweeps_rev, figures_rev =
+    List.fold_left
+      (fun (off, sweeps, figures) inst ->
+        let shift (c : cell) = { c with sweep = c.sweep + off } in
+        let shifted =
+          List.map
+            (fun (f : figure_def) ->
+              {
+                f with
+                series =
+                  List.map
+                    (fun s -> { s with cells = List.map shift s.cells })
+                    f.series;
+              })
+            inst.figures
+        in
+        ( off + List.length inst.sweeps,
+          List.rev_append inst.sweeps sweeps,
+          List.rev_append shifted figures ))
+      (0, [], []) insts
+  in
+  { sweeps = List.rev sweeps_rev; figures = List.rev figures_rev }
+
+(* a declared-shape error is a bug in the spec, not in the runner; fail
+   with enough context to find the bad cell *)
+let lookup results c =
+  let sweep_results =
+    try results.(c.sweep)
+    with Invalid_argument _ ->
+      invalid_arg
+        (Printf.sprintf "Spec: cell references sweep %d of %d" c.sweep
+           (Array.length results))
+  in
+  let point_result =
+    try sweep_results.(c.point)
+    with Invalid_argument _ ->
+      invalid_arg
+        (Printf.sprintf "Spec: cell references point %d of sweep %d" c.point
+           c.sweep)
+  in
+  match List.assoc_opt c.metric point_result with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Spec: sweep %d point %d declared no metric %S" c.sweep
+         c.point c.metric)
+
+let assemble inst results =
+  List.map
+    (fun (f : figure_def) ->
+      {
+        Exp_common.id = f.fid;
+        title = f.title;
+        xlabel = f.xlabel;
+        ylabel = f.ylabel;
+        series =
+          List.map
+            (fun s ->
+              {
+                Exp_common.label = s.label;
+                points = List.map (fun c -> (c.x, lookup results c)) s.cells;
+              })
+            f.series;
+        notes = f.notes;
+      })
+    inst.figures

@@ -1,0 +1,97 @@
+(** Declarative experiment specifications.
+
+    An experiment of the evaluation section is a {e value}: a set of
+    {!sweep}s (parameter grids whose points are computed independently,
+    each from its own deterministic RNG) and a set of {!figure_def}s
+    that say which point's metric supplies each (x, y) of each output
+    series. {!Runner} owns everything around that value — {!Pool}
+    fan-out with per-point seeds, telemetry capture, histogram-sourced
+    timing, figure assembly, CSV/snapshot output — so an experiment
+    module contains only its science: the per-point function and the
+    declared shape of its outputs.
+
+    The registry ({!Registry}) holds one {!t} per experiment family;
+    the bench harness and the CLI both enumerate it instead of
+    hard-coding figure lists. *)
+
+type point_result = (string * float) list
+(** Named metrics one grid point computes. Names are free-form and
+    local to the spec; a metric may be [nan] when the point has no
+    value for it (rendered as [nan], as the legacy modules did). *)
+
+type sweep = {
+  key : string;
+      (** [Pool.point_seed] figure key. Kept equal to the pre-spec
+          harness keys (["fig5"], ["ablA1"], …) so every per-point RNG
+          stream — and with it every non-timing figure value — is
+          byte-identical to the historical modules. *)
+  points : int;  (** grid size; point indices are [0 .. points - 1] *)
+  point : rng:Topology.Rng.t -> int -> point_result;
+      (** The per-point function. It must derive all randomness from
+          [rng] (or re-derive a shared seed via {!Pool.point_seed}, for
+          grids whose points race on one common input) and keep its
+          mutable state local — the {!Pool} determinism contract. *)
+}
+
+type cell = {
+  x : float;  (** x value this cell contributes *)
+  sweep : int;  (** index into {!instance.sweeps} *)
+  point : int;  (** point index within that sweep *)
+  metric : string;  (** which of the point's metrics supplies y *)
+}
+
+type series_def = { label : string; cells : cell list }
+
+type figure_def = {
+  fid : string;  (** e.g. ["fig5a"] *)
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  notes : string list;
+  series : series_def list;
+}
+
+type instance = {
+  sweeps : sweep list;
+  figures : figure_def list;
+}
+(** A fully parameterised experiment: every default (request count,
+    sizes, loads) already resolved. *)
+
+type t = {
+  id : string;
+      (** registry key; also the bench [--figure] name and the CLI
+          subcommand *)
+  doc : string;  (** one-line description, shown by the CLI *)
+  figure_ids : string list;
+      (** ids of the figures the instance emits, in emission order —
+          static, so tooling can enumerate outputs without running *)
+  default_requests : int option;
+      (** what an absent [--requests] means, [None] when the family has
+          no request-count knob (informational) *)
+  instance : seed:int -> requests:int option -> instance;
+      (** [seed] is also what the runner hands {!Pool.map}; it is passed
+          here so point functions that race several algorithms on one
+          shared input can re-derive that input's seed (the
+          [Pool.point_seed ~index:0] idiom) or, for designed instances,
+          use the raw seed directly. *)
+}
+
+val make :
+  id:string ->
+  doc:string ->
+  figure_ids:string list ->
+  ?default_requests:int ->
+  (seed:int -> requests:int option -> instance) ->
+  t
+
+val concat_instances : instance list -> instance
+(** Combine sub-experiments into one instance: sweeps are concatenated
+    in order and every figure's cell [sweep] indices are shifted past
+    the sweeps declared before it. *)
+
+val assemble : instance -> point_result array array -> Exp_common.figure list
+(** [assemble inst results] materialises the declared figures from the
+    computed grid ([results.(s).(p)] is sweep [s]'s point [p]). Raises
+    [Invalid_argument] when a cell references a sweep, point or metric
+    the grid does not have — a malformed spec, caught loudly. *)

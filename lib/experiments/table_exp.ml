@@ -7,45 +7,69 @@ let capacities = [ 25; 50; 100; 200; 400 ]
 (* One pool point = one per-switch rule capacity; both algorithms admit
    the same sequence under that budget, so they stay inside the point. *)
 
-let run ?(seed = 1) ?(n = 100) ?(requests = 400) () =
+let instance ?(n = 100) ?(requests = 400) () =
   let caps_a = Array.of_list capacities in
-  let points =
-    Pool.map ~figure:"table" ~seed (Array.length caps_a) (fun ~rng i ->
-        let cap = caps_a.(i) in
-        let net = Exp_common.network rng ~n in
-        let reqs = Workload.Gen.sequence rng net ~count:requests in
-        List.map
-          (fun algo ->
-            Sdn.Network.reset net;
-            let budget = Rb.create net ~capacity:cap in
-            List.fold_left
-              (fun k r ->
-                match Rb.admit budget net algo r with
-                | Ok _ -> k + 1
-                | Error _ -> k)
-              0 reqs)
-          algos)
-  in
-  let points = Array.of_list points in
-  [
+  let sweep =
     {
-      Exp_common.id = "tableA";
-      title = "forwarding-table budgets: admitted vs per-switch capacity";
-      xlabel = "rules per switch";
-      ylabel = "admitted";
-      series =
-        List.mapi
-          (fun ai a ->
-            {
-              Exp_common.label = Adm.algorithm_to_string a;
-              points =
-                List.mapi
-                  (fun ci cap ->
-                    ( float_of_int cap,
-                      float_of_int (List.nth points.(ci) ai) ))
-                  capacities;
-            })
-          algos;
-      notes = [ Printf.sprintf "n = %d, %d requests, K = 1" n requests ];
-    };
-  ]
+      Spec.key = "table";
+      points = Array.length caps_a;
+      point =
+        (fun ~rng i ->
+          let cap = caps_a.(i) in
+          let net = Exp_common.network rng ~n in
+          let reqs = Workload.Gen.sequence rng net ~count:requests in
+          List.map
+            (fun algo ->
+              Sdn.Network.reset net;
+              let budget = Rb.create net ~capacity:cap in
+              let k =
+                List.fold_left
+                  (fun k r ->
+                    match Rb.admit budget net algo r with
+                    | Ok _ -> k + 1
+                    | Error _ -> k)
+                  0 reqs
+              in
+              ("adm_" ^ Adm.algorithm_to_string algo, float_of_int k))
+            algos);
+    }
+  in
+  let figures =
+    [
+      {
+        Spec.fid = "tableA";
+        title = "forwarding-table budgets: admitted vs per-switch capacity";
+        xlabel = "rules per switch";
+        ylabel = "admitted";
+        series =
+          List.map
+            (fun a ->
+              let name = Adm.algorithm_to_string a in
+              {
+                Spec.label = name;
+                cells =
+                  List.mapi
+                    (fun ci cap ->
+                      {
+                        Spec.x = float_of_int cap;
+                        sweep = 0;
+                        point = ci;
+                        metric = "adm_" ^ name;
+                      })
+                    capacities;
+              })
+            algos;
+        notes = [ Printf.sprintf "n = %d, %d requests, K = 1" n requests ];
+      };
+    ]
+  in
+  { Spec.sweeps = [ sweep ]; figures }
+
+let spec =
+  Spec.make ~id:"tables"
+    ~doc:"Extension: per-switch forwarding-table budgets"
+    ~figure_ids:[ "tableA" ] ~default_requests:400
+    (fun ~seed:_ ~requests -> instance ?requests ())
+
+let run ?(seed = 1) ?n ?requests () =
+  Runner.figures ~seed (instance ?n ?requests ())

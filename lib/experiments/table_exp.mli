@@ -4,4 +4,7 @@
     here, so the rule budget is the binding resource (the node-capacity
     regime of Huang et al. [10]). *)
 
+val spec : Spec.t
+(** Registered as ["tables"]. *)
+
 val run : ?seed:int -> ?n:int -> ?requests:int -> unit -> Exp_common.figure list

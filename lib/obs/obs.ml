@@ -488,17 +488,25 @@ module Export = struct
 
   type snapshot = metric list
 
+  (* Sorted by name within each kind: registration order depends on
+     which domain first touched an instrument (worker shards register on
+     merge), so insertion order would make exports differ across --jobs
+     settings. Name order makes two snapshots of the same run diffable
+     regardless of scheduling. *)
+  let by_name name xs =
+    List.sort (fun a b -> String.compare (name a) (name b)) xs
+
   let snapshot () =
     List.map
       (fun c -> Counter (Counter.name c, Counter.value c))
-      (Registry.items Counter.registry)
+      (by_name Counter.name (Registry.items Counter.registry))
     @ List.map
         (fun g -> Gauge (Gauge.name g, Gauge.value g))
-        (Registry.items Gauge.registry)
+        (by_name Gauge.name (Registry.items Gauge.registry))
     @ List.map
         (fun t ->
           Timer { name = Timer.name t; count = Timer.count t; total = Timer.total t })
-        (Registry.items Timer.registry)
+        (by_name Timer.name (Registry.items Timer.registry))
     @ List.map
         (fun h ->
           Histogram
@@ -509,7 +517,7 @@ module Export = struct
               bounds = Histogram.bounds h;
               buckets = Histogram.buckets h;
             })
-        (Registry.items Histogram.registry)
+        (by_name Histogram.name (Registry.items Histogram.registry))
 
   (* %.17g round-trips every finite double through float_of_string *)
   let fstr x = Printf.sprintf "%.17g" x

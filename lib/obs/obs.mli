@@ -247,7 +247,10 @@ module Export : sig
 
   type snapshot = metric list
   (** All instruments, grouped by kind (counters, then gauges, timers,
-      histograms), each group in registration order. *)
+      histograms), each group sorted by name — registration order would
+      depend on which domain first touched an instrument, so name order
+      is what keeps two exports of the same run diffable across [--jobs]
+      settings. *)
 
   val snapshot : unit -> snapshot
   (** Capture the current values of every registered instrument. *)

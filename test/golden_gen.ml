@@ -1,0 +1,40 @@
+(* Regenerates the golden figure CSVs under test/golden/ — the fixtures
+   test_specs.ml compares against byte for byte.
+
+   Run after an intentional output change:
+
+     dune exec test/golden_gen.exe -- test/golden
+
+   The configurations here MUST stay in sync with [Golden.families] in
+   test_specs.ml: same seeds, sizes and request counts, fake clock,
+   sequential pool. Timing columns are deterministic under the fake
+   clock (dyadic tick, histogram sums of exact multiples), so the full
+   CSV bytes are reproducible on any machine. *)
+
+let families =
+  [
+    ("fig5", fun () -> Experiments.Fig5.run ~seed:3 ~requests:2 ~sizes:[ 30; 50 ] ());
+    ("fig6", fun () -> Experiments.Fig6.run ~seed:3 ~requests:2 ());
+    ("fig7", fun () -> Experiments.Fig7.run ~seed:3 ~requests:10 ~sizes:[ 30; 50 ] ());
+    ("fig8", fun () -> Experiments.Fig8.run ~seed:3 ~requests:30 ~sizes:[ 30; 50 ] ());
+    ("fig9", fun () -> Experiments.Fig9.run ~seed:3 ~requests:60 ());
+    ("ablation", fun () -> Experiments.Ablation.run ~seed:3 ~requests:12 ());
+    ("dynamic", fun () -> Experiments.Dynamic_load.run ~seed:3 ~n:40 ~arrivals:40 ());
+    ("batch", fun () -> Experiments.Batch_order.run ~seed:3 ~n:30 ~sizes:[ 15; 30 ] ());
+    ("delay", fun () -> Experiments.Delay_exp.run ~seed:3 ~n:40 ~requests:20 ());
+    ("tables", fun () -> Experiments.Table_exp.run ~seed:3 ~n:40 ~requests:20 ());
+  ]
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden" in
+  Experiments.Exp_common.install_fake_clock ();
+  Experiments.Pool.set_jobs 1;
+  List.iter
+    (fun (name, run) ->
+      let figs = run () in
+      List.iter
+        (fun f ->
+          let path = Experiments.Exp_common.write_csv ~dir f in
+          Printf.printf "%-10s wrote %s\n%!" name path)
+        figs)
+    families

@@ -1,0 +1,262 @@
+(* The declarative experiment layer: registry completeness, golden
+   byte-identity of every family's CSVs under the fake clock, exactness
+   of the histogram-sourced timing columns, and the per-scenario
+   [--obs-out] snapshot. *)
+
+module Obs = Nfv_obs.Obs
+module E = Experiments.Exp_common
+module Spec = Experiments.Spec
+module Runner = Experiments.Runner
+
+(* ---- registry completeness ------------------------------------------- *)
+
+let expected_ids =
+  [
+    "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "ablation"; "dynamic"; "batch";
+    "delay"; "tables"; "stress";
+  ]
+
+let test_registry_ids () =
+  Alcotest.(check (list string))
+    "every family is registered, in presentation order" expected_ids
+    Experiments.Registry.ids;
+  List.iter
+    (fun id ->
+      match Experiments.Registry.find id with
+      | Some s -> Alcotest.(check string) "find returns the spec" id s.Spec.id
+      | None -> Alcotest.failf "Registry.find %S = None" id)
+    expected_ids
+
+(* Building an instance is pure — no sweep runs — so the declared
+   figure_ids can be checked against the instance shape for free. *)
+let test_declared_figures () =
+  List.iter
+    (fun (s : Spec.t) ->
+      let inst = s.Spec.instance ~seed:1 ~requests:(Some 2) in
+      let fids = List.map (fun f -> f.Spec.fid) inst.Spec.figures in
+      Alcotest.(check (list string))
+        (s.Spec.id ^ ": declared figure_ids match the instance")
+        s.Spec.figure_ids fids;
+      let sorted = List.sort_uniq compare fids in
+      Alcotest.(check int)
+        (s.Spec.id ^ ": figure ids unique")
+        (List.length fids) (List.length sorted))
+    Experiments.Registry.all
+
+(* every cell of every figure must name a sweep/point/metric the sweeps
+   can produce — shape errors surface at assembly, so run the smallest
+   family end to end *)
+let test_assembly_smoke () =
+  E.install_fake_clock ();
+  Experiments.Pool.set_jobs 1;
+  let figs = Experiments.Stress.run ~seed:3 ~requests:8 () in
+  Alcotest.(check (list string))
+    "stress produces its declared figures" [ "stressA"; "stressB" ]
+    (List.map (fun f -> f.E.id) figs);
+  List.iter
+    (fun f ->
+      List.iter
+        (fun s ->
+          List.iter
+            (fun (_, v) ->
+              if Float.is_nan v then
+                Alcotest.failf "%s/%s has a NaN cell" f.E.id s.E.label)
+            s.E.points)
+        f.E.series)
+    figs
+
+(* the stress tables are counter deltas: admitted + rejections = load *)
+let test_stress_conservation () =
+  E.install_fake_clock ();
+  Experiments.Pool.set_jobs 1;
+  let figs = Experiments.Stress.run ~seed:3 ~requests:32 () in
+  List.iter
+    (fun f ->
+      match f.E.series with
+      | [] -> Alcotest.failf "%s has no series" f.E.id
+      | first :: _ ->
+        List.iteri
+          (fun i (x, _) ->
+            let total =
+              List.fold_left
+                (fun acc s -> acc +. snd (List.nth s.E.points i))
+                0.0 f.E.series
+            in
+            Alcotest.(check (float 0.0))
+              (Printf.sprintf "%s: outcomes at load %g sum to the load" f.E.id x)
+              x total)
+          first.E.points)
+    figs
+
+(* ---- histogram-native timing ----------------------------------------- *)
+
+(* Under the fake clock a span's duration is (clock reads inside + 1)
+   ticks exactly; the tick is dyadic so histogram sums of it are exact.
+   [span_mean_ms] must therefore be bit-equal to the arithmetic
+   prediction, not merely close. *)
+let test_span_probe_exact () =
+  E.install_fake_clock ();
+  Obs.enabled := true;
+  Fun.protect ~finally:(fun () -> Obs.enabled := false) @@ fun () ->
+  let tick = 1.0 /. 8192.0 in
+  let p = Runner.span_probe "test_specs.empty" in
+  for _ = 1 to 7 do
+    Obs.Span.run "test_specs.empty" (fun () -> ())
+  done;
+  Alcotest.(check int) "7 empty spans recorded" 7 (Runner.span_count p);
+  Alcotest.(check (float 0.0))
+    "an empty span costs exactly one tick" (1000.0 *. tick)
+    (Runner.span_mean_ms p);
+  (* k clock reads inside the body -> (k + 1) ticks per span *)
+  let q = Runner.span_probe "test_specs.busy" in
+  for _ = 1 to 3 do
+    Obs.Span.run "test_specs.busy" (fun () ->
+        for _ = 1 to 4 do
+          ignore (!Obs.clock ())
+        done)
+  done;
+  Alcotest.(check int) "3 busy spans recorded" 3 (Runner.span_count q);
+  Alcotest.(check (float 0.0))
+    "busy span mean is exactly 5 ticks" (1000.0 *. 5.0 *. tick)
+    (Runner.span_mean_ms q)
+
+(* The real thing: a designed network where the solver's span histogram
+   is the only timing source. The ms column published by the probe must
+   equal 1000 * (sum delta) / (count delta) read independently from the
+   histogram, and the sum delta must be an exact integer number of
+   ticks. *)
+let test_designed_net_ms () =
+  E.install_fake_clock ();
+  Obs.enabled := true;
+  Fun.protect ~finally:(fun () -> Obs.enabled := false) @@ fun () ->
+  let tick = 1.0 /. 8192.0 in
+  let rng = Topology.Rng.create 11 in
+  let net = E.network rng ~n:30 in
+  let reqs = Workload.Gen.sequence rng net ~count:5 in
+  let h = Obs.Histogram.make "appro_multi.solve" in
+  let c0 = Obs.Histogram.count h and s0 = Obs.Histogram.sum h in
+  let p = Runner.span_probe "appro_multi.solve" in
+  List.iter
+    (fun r -> ignore (Nfv_multicast.Appro_multi.solve ~k:2 net r))
+    reqs;
+  let dc = Obs.Histogram.count h - c0 in
+  let ds = Obs.Histogram.sum h -. s0 in
+  Alcotest.(check int) "one span per solve call" 5 dc;
+  Alcotest.(check int) "probe sees the same count" 5 (Runner.span_count p);
+  Alcotest.(check (float 0.0))
+    "ms column = 1000 * sum / count of the span histogram"
+    (1000.0 *. ds /. float_of_int dc)
+    (Runner.span_mean_ms p);
+  let ticks = ds /. tick in
+  Alcotest.(check (float 0.0))
+    "span sum is an exact whole number of dyadic ticks" (Float.round ticks)
+    ticks
+
+(* ---- golden CSVs ------------------------------------------------------ *)
+
+(* MUST stay in sync with golden_gen.ml (same seeds, sizes, request
+   counts). Regenerate after an intentional output change with
+     dune exec test/golden_gen.exe -- test/golden *)
+let families =
+  [
+    ("fig5", fun () -> Experiments.Fig5.run ~seed:3 ~requests:2 ~sizes:[ 30; 50 ] ());
+    ("fig6", fun () -> Experiments.Fig6.run ~seed:3 ~requests:2 ());
+    ("fig7", fun () -> Experiments.Fig7.run ~seed:3 ~requests:10 ~sizes:[ 30; 50 ] ());
+    ("fig8", fun () -> Experiments.Fig8.run ~seed:3 ~requests:30 ~sizes:[ 30; 50 ] ());
+    ("fig9", fun () -> Experiments.Fig9.run ~seed:3 ~requests:60 ());
+    ("ablation", fun () -> Experiments.Ablation.run ~seed:3 ~requests:12 ());
+    ("dynamic", fun () -> Experiments.Dynamic_load.run ~seed:3 ~n:40 ~arrivals:40 ());
+    ("batch", fun () -> Experiments.Batch_order.run ~seed:3 ~n:30 ~sizes:[ 15; 30 ] ());
+    ("delay", fun () -> Experiments.Delay_exp.run ~seed:3 ~n:40 ~requests:20 ());
+    ("tables", fun () -> Experiments.Table_exp.run ~seed:3 ~n:40 ~requests:20 ());
+  ]
+
+(* dune runtest executes in _build/default/test (where the deps glob
+   copies golden/); dune exec from the repo root sees test/golden *)
+let golden_dir =
+  lazy
+    (List.find_opt Sys.file_exists [ "golden"; "test/golden" ]
+    |> function
+    | Some d -> d
+    | None -> Alcotest.fail "golden directory not found")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_golden name run () =
+  E.install_fake_clock ();
+  Experiments.Pool.set_jobs 1;
+  List.iter
+    (fun f ->
+      let path = Filename.concat (Lazy.force golden_dir) (f.E.id ^ ".csv") in
+      if not (Sys.file_exists path) then
+        Alcotest.failf "missing golden file %s (run golden_gen)" path;
+      let want = read_file path in
+      let got = E.to_csv f in
+      if not (String.equal want got) then
+        Alcotest.failf
+          "%s: CSV differs from golden %s (regenerate with golden_gen if the \
+           change is intentional)"
+          name path)
+    (run ())
+
+(* ---- per-scenario obs snapshots --------------------------------------- *)
+
+let test_obs_out () =
+  E.install_fake_clock ();
+  Experiments.Pool.set_jobs 1;
+  let dir = Filename.temp_file "nfvm_obs" "" in
+  Sys.remove dir;
+  let figs =
+    Runner.run ~seed:3 ~requests:16 ~obs_out:dir Experiments.Stress.spec
+  in
+  Alcotest.(check int) "stress figures produced" 2 (List.length figs);
+  let path = Runner.obs_json_path ~dir "stress" in
+  if not (Sys.file_exists path) then
+    Alcotest.failf "snapshot %s not written" path;
+  let text = read_file path in
+  let snap = Obs.Export.of_json text in
+  if snap = [] then Alcotest.fail "snapshot is empty";
+  (* exact round-trip: to_json . of_json = id on the written bytes *)
+  Alcotest.(check string)
+    "snapshot JSON round-trips byte-for-byte" (String.trim text)
+    (Obs.Export.to_json snap);
+  (* the family's own counters are in its snapshot *)
+  let has_counter name =
+    List.exists
+      (function Obs.Export.Counter (n, _) -> n = name | _ -> false)
+      snap
+  in
+  if not (has_counter "online_cp.admitted") then
+    Alcotest.fail "snapshot lacks online_cp.admitted";
+  if not (has_counter "online_cp.rejected.over_threshold") then
+    Alcotest.fail "snapshot lacks rejection counters"
+
+let () =
+  Alcotest.run "specs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "ids" `Quick test_registry_ids;
+          Alcotest.test_case "declared figures" `Quick test_declared_figures;
+          Alcotest.test_case "assembly smoke" `Quick test_assembly_smoke;
+          Alcotest.test_case "stress conservation" `Quick
+            test_stress_conservation;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "span probe exact" `Quick test_span_probe_exact;
+          Alcotest.test_case "designed-net ms column" `Quick
+            test_designed_net_ms;
+        ] );
+      ( "golden",
+        List.map
+          (fun (name, run) ->
+            Alcotest.test_case name `Quick (test_golden name run))
+          families );
+      ("obs-out", [ Alcotest.test_case "snapshot" `Quick test_obs_out ]);
+    ]
