@@ -58,13 +58,17 @@ let record_of_cp net request = function
       detail = Online_cp.rejection_to_string r;
     }
 
+(* default parameters with both admission thresholds disabled — the
+   single definition behind the Online_cp_no_threshold variant here and
+   Repair's re-admission tier *)
+let no_threshold_params net =
+  let p = Online_cp.default_params net in
+  { p with Online_cp.sigma_v = infinity; sigma_e = infinity }
+
 let decide ?window net algo request =
   match algo with
   | Online_cp_no_threshold ->
-    let params =
-      let p = Online_cp.default_params net in
-      { p with Online_cp.sigma_v = infinity; sigma_e = infinity }
-    in
+    let params = no_threshold_params net in
     record_of_cp net request
       (Online_cp.admit ~mode:`Exponential ~params ?window net request)
   | Online_cp ->
@@ -104,10 +108,7 @@ let admit_tree ?window net algo request =
   | Online_cp -> of_cp (Online_cp.admit ~mode:`Exponential ?window net request)
   | Online_linear -> of_cp (Online_cp.admit ~mode:`Linear ?window net request)
   | Online_cp_no_threshold ->
-    let params =
-      let p = Online_cp.default_params net in
-      { p with Online_cp.sigma_v = infinity; sigma_e = infinity }
-    in
+    let params = no_threshold_params net in
     of_cp (Online_cp.admit ~mode:`Exponential ~params ?window net request)
   | Sp -> (
     match Online_sp.admit ?window net request with

@@ -15,6 +15,12 @@ type algorithm =
 
 val algorithm_to_string : algorithm -> string
 
+val no_threshold_params : Sdn.Network.t -> Online_cp.params
+(** {!Online_cp.default_params} with both admission thresholds set to
+    [infinity] — the parameterisation behind {!Online_cp_no_threshold},
+    shared with {!Repair}'s re-admission tier so the "no thresholds"
+    variant is defined in exactly one place. *)
+
 type record = {
   request_id : int;
   admitted : bool;

@@ -98,6 +98,32 @@ let min_by order = function
    never a changed outcome. *)
 let slack x = x +. (1e-9 *. Float.max 1.0 (Float.abs x))
 
+(* At zero load the exponential weights are exactly 0 and the linear
+   unit costs are uniform on many topologies, which makes trees tie and
+   routing hop-oblivious; a tiny per-edge epsilon breaks ties toward
+   fewer hops in both modes without affecting the thresholds. *)
+let hop_epsilon = 1e-6
+
+let link_weight ~mode ~params net ~bandwidth e =
+  if not (Sdn.Network.link_admits net e bandwidth) then infinity
+  else
+    match mode with
+    | `Exponential -> Cost_model.link_weight net ~base:params.beta e +. hop_epsilon
+    | `Linear -> Cost_model.linear_link_weight net e +. hop_epsilon
+
+let server_weight ~mode ~params net ~demand v =
+  match mode with
+  | `Exponential -> Cost_model.server_weight net ~base:params.alpha v
+  | `Linear -> Sdn.Network.server_unit_cost net v *. demand
+
+let weight_family ~mode ~params =
+  match mode with
+  | `Exponential ->
+    (* the exponential weights read [beta]; fold its bits into the key
+       so different params never share an engine *)
+    "online_cp.exp:" ^ Int64.to_string (Int64.bits_of_float params.beta)
+  | `Linear -> "online_cp.lin"
+
 let admit_impl ~mode ~params ~window ~prune net request =
   let params =
     match params with Some p -> p | None -> default_params net
@@ -106,23 +132,8 @@ let admit_impl ~mode ~params ~window ~prune net request =
   let b = request.Sdn.Request.bandwidth in
   let s = request.Sdn.Request.source in
   let demand = Sdn.Request.demand_mhz request in
-  (* At zero load the exponential weights are exactly 0 and the linear
-     unit costs are uniform on many topologies, which makes trees tie and
-     routing hop-oblivious; a tiny per-edge epsilon breaks ties toward
-     fewer hops in both modes without affecting the thresholds. *)
-  let hop_epsilon = 1e-6 in
-  let link_w e =
-    if not (Sdn.Network.link_admits net e b) then infinity
-    else
-      match mode with
-      | `Exponential -> Cost_model.link_weight net ~base:params.beta e +. hop_epsilon
-      | `Linear -> Cost_model.linear_link_weight net e +. hop_epsilon
-  in
-  let server_w v =
-    match mode with
-    | `Exponential -> Cost_model.server_weight net ~base:params.alpha v
-    | `Linear -> Sdn.Network.server_unit_cost net v *. demand
-  in
+  let link_w e = link_weight ~mode ~params net ~bandwidth:b e in
+  let server_w v = server_weight ~mode ~params net ~demand v in
   let thresholds_on = mode = `Exponential in
   let usable =
     List.filter (fun v -> Sdn.Network.server_admits net v demand) (Sdn.Network.servers net)
@@ -141,14 +152,7 @@ let admit_impl ~mode ~params ~window ~prune net request =
     let eng =
       match window with
       | Some w ->
-        let family =
-          match mode with
-          | `Exponential ->
-            (* the exponential weights read [beta]; fold its bits into
-               the key so different params never share an engine *)
-            "online_cp.exp:" ^ Int64.to_string (Int64.bits_of_float params.beta)
-          | `Linear -> "online_cp.lin"
-        in
+        let family = weight_family ~mode ~params in
         Sp_window.engine w ~family
           ~bucket:(Sp_window.bucket w ~bandwidth:b)
           ~weight:link_w

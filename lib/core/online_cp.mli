@@ -43,6 +43,53 @@ type admitted = {
 
 type outcome = Admitted of admitted | Rejected of rejection
 
+(** {1 Pricing surface}
+
+    The exact weight model {!admit} prices against, exported so other
+    components (notably {!Repair}) can search with {e identical} prices
+    and share {!Sp_window} engine families with admission — same family
+    string + same weight closure at an equal epoch means the window's
+    exactness contract lets cached Dijkstra trees flow both ways. *)
+
+val link_weight :
+  mode:[ `Exponential | `Linear ] ->
+  params:params ->
+  Sdn.Network.t ->
+  bandwidth:float ->
+  int ->
+  float
+(** Traversal weight of one link for a request needing [bandwidth] Mbps:
+    [infinity] when the residual cannot admit the bandwidth, otherwise
+    the exponential ([β^{1−B_e(k)/B_e} − 1]) or linear unit cost, plus
+    the hop epsilon that breaks zero-load ties toward fewer hops. Reads
+    residual state — pure only between equal {!Sdn.Network.weight_epoch}
+    readings. *)
+
+val server_weight :
+  mode:[ `Exponential | `Linear ] ->
+  params:params ->
+  Sdn.Network.t ->
+  demand:float ->
+  int ->
+  float
+(** Placement weight of one server for a consolidated chain demand of
+    [demand] MHz (exponential node weight, or unit cost × demand in
+    [`Linear] mode). *)
+
+val weight_family :
+  mode:[ `Exponential | `Linear ] -> params:params -> string
+(** The {!Sp_window} family key under which {!admit} registers engines
+    for {!link_weight} closures with these parameters ([β]'s bits are
+    folded into the exponential key, so distinct params never share an
+    engine). *)
+
+val slack : float -> float
+(** [slack x] relaxes a score bound by one part in 10⁹ (ULP drift guard):
+    pruning a candidate only when its lower bound exceeds
+    [slack incumbent] can never discard a candidate exact arithmetic
+    would keep. Shared by admission's candidate pruning and Repair's
+    migration screening. *)
+
 val admit :
   ?mode:[ `Exponential | `Linear ] ->
   ?params:params ->

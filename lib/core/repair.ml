@@ -1,0 +1,383 @@
+module G = Mcgraph.Graph
+module Paths = Mcgraph.Paths
+module Sp = Mcgraph.Sp_engine
+module Tree = Mcgraph.Tree
+module Obs = Nfv_obs.Obs
+
+let c_attempted = Obs.Counter.make "repair.attempted"
+let c_patched = Obs.Counter.make "repair.patched"
+let c_migrated = Obs.Counter.make "repair.migrated"
+let c_readmitted = Obs.Counter.make "repair.readmitted"
+let c_dropped = Obs.Counter.make "repair.dropped"
+let c_migrate_pruned = Obs.Counter.make "repair.migrate.pruned"
+
+(* whole-call latency; recorded manually (not via Span.run) so nesting
+   inside a caller's span cannot rename it (spans join nested names
+   with "/"), while the per-tier spans below are fine to nest under it *)
+let h_attempt = Obs.Histogram.make "repair.attempt"
+
+type tier = Patched | Migrated | Readmitted
+
+let tier_to_string = function
+  | Patched -> "patched"
+  | Migrated -> "migrated"
+  | Readmitted -> "readmitted"
+
+type outcome =
+  | Repaired of { tree : Pseudo_tree.t; tier : tier }
+  | Dropped of string
+
+type budget = {
+  max_patch_paths : int;
+  max_migrate_candidates : int;
+  allow_readmit : bool;
+}
+
+let default_budget =
+  { max_patch_paths = 8; max_migrate_candidates = 16; allow_readmit = true }
+
+(* the weight model each admission algorithm prices with; repair must
+   search under the *same* prices so its engines can share Sp_window
+   families with the surrounding admission run *)
+let pricing_of_algo net = function
+  | Admission.Online_cp -> (`Exponential, Online_cp.default_params net)
+  | Admission.Online_cp_no_threshold ->
+    (`Exponential, Admission.no_threshold_params net)
+  | Admission.Online_linear | Admission.Sp ->
+    (`Linear, Online_cp.default_params net)
+
+let repair_engine ?window ~mode ~params net ~bandwidth =
+  let link_w e = Online_cp.link_weight ~mode ~params net ~bandwidth e in
+  match window with
+  | Some w ->
+    Sp_window.engine w
+      ~family:(Online_cp.weight_family ~mode ~params)
+      ~bucket:(Sp_window.bucket w ~bandwidth)
+      ~weight:link_w
+  | None ->
+    Sp.create (Sdn.Network.graph net) ~weight:link_w
+      ~epoch:(fun () -> Sdn.Network.weight_epoch net)
+
+(* ---- shared tree surgery ---------------------------------------------- *)
+
+(* breadth-first sweep of the source's component of [edges]; marks
+   reached nodes in [visited] and returns the component's edges *)
+let component g ~edges ~from visited =
+  let adj = Array.make (G.n g) [] in
+  List.iter
+    (fun e ->
+      let u, v = G.endpoints g e in
+      adj.(u) <- (e, v) :: adj.(u);
+      adj.(v) <- (e, u) :: adj.(v))
+    edges;
+  let keep = ref [] in
+  let q = Queue.create () in
+  visited.(from) <- true;
+  Queue.add from q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun (e, v) ->
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          keep := e :: !keep;
+          Queue.add v q
+        end)
+      adj.(u)
+  done;
+  !keep
+
+(* repeatedly drop leaves outside [keep_nodes], returning the rooted
+   remainder and its edge list *)
+let prune_to g ~root ~keep_nodes edges =
+  let rec go edges =
+    let t = Tree.of_edges g ~root edges in
+    let removable =
+      List.filter
+        (fun v -> v <> root && not (List.mem v keep_nodes))
+        (Tree.leaves t)
+    in
+    if removable = [] then (t, edges)
+    else begin
+      let drop = List.map (fun v -> Tree.parent_edge t v) removable in
+      go (List.filter (fun e -> not (List.mem e drop)) edges)
+    end
+  in
+  go edges
+
+(* witness routes + per-server backtracks for a rooted repaired tree;
+   [server_of d] chooses the serving server (must be a tree node) *)
+let finish_tree ~rooted ~support ~request ~server_of =
+  let s = request.Sdn.Request.source in
+  let dests = request.Sdn.Request.destinations in
+  let routes =
+    List.map
+      (fun d ->
+        let v = server_of d in
+        ( d,
+          {
+            Pseudo_tree.to_server = Tree.path_between rooted s v;
+            server = v;
+            onward = Tree.path_between rooted v d;
+          } ))
+      dests
+  in
+  let used_servers =
+    List.sort_uniq compare (List.map (fun (_, r) -> r.Pseudo_tree.server) routes)
+  in
+  let backtracks =
+    List.concat_map
+      (fun v ->
+        let served =
+          List.filter_map
+            (fun (d, r) -> if r.Pseudo_tree.server = v then Some d else None)
+            routes
+        in
+        let u = Tree.lca_many rooted (v :: served) in
+        Tree.path_up rooted v ~ancestor:u)
+      used_servers
+  in
+  Pseudo_tree.make ~request ~servers:used_servers
+    ~edge_uses:(Pseudo_tree.edge_uses_of_list (support @ backtracks))
+    ~routes
+
+(* ---- tier 1: local patch ---------------------------------------------- *)
+
+exception Infeasible
+
+(* re-attach every severed terminal of the old tree through current
+   shortest paths; the old server assignment is kept *)
+let try_patch ~budget ~eng ~link_down ~server_down net (victim : Pseudo_tree.t)
+    =
+  let g = Sdn.Network.graph net in
+  let request = victim.Pseudo_tree.request in
+  let s = request.Sdn.Request.source in
+  let dests = request.Sdn.Request.destinations in
+  if List.exists server_down victim.Pseudo_tree.servers then None
+  else begin
+    let support = List.map fst victim.Pseudo_tree.edge_uses in
+    let down, surviving = List.partition link_down support in
+    if down = [] then
+      (* no structural loss (the session was evicted by a degradation):
+         try to re-establish the identical tree under the new residuals *)
+      match Sdn.Network.allocate net (Pseudo_tree.allocation victim) with
+      | Ok () -> Some victim
+      | Error _ -> None
+    else begin
+      let in_tree = Array.make (G.n g) false in
+      let keep = component g ~edges:surviving ~from:s in_tree in
+      let must_reach =
+        List.sort_uniq compare (victim.Pseudo_tree.servers @ dests)
+      in
+      let severed = List.filter (fun v -> not in_tree.(v)) must_reach in
+      if List.length severed > budget.max_patch_paths then None
+      else
+        try
+          (* Each severed terminal gets a shortest path to the closest
+             node already in the tree (tie: smallest id). Intermediate
+             path nodes are strictly closer to the terminal than the
+             chosen attach point, hence not yet in the tree — so the
+             paths are edge-disjoint from the kept tree and from each
+             other, and the union stays acyclic. *)
+          let patches = ref [] in
+          List.iter
+            (fun tgt ->
+              let spt = Sp.spt eng tgt in
+              let best = ref (-1) and bd = ref infinity in
+              Array.iteri
+                (fun u inside ->
+                  if inside && spt.Paths.dist.(u) < !bd then begin
+                    best := u;
+                    bd := spt.Paths.dist.(u)
+                  end)
+                in_tree;
+              if !best < 0 then raise Infeasible;
+              match Paths.path_edges g spt !best with
+              | None -> raise Infeasible
+              | Some path ->
+                patches := List.rev_append path !patches;
+                let cur = ref tgt in
+                in_tree.(tgt) <- true;
+                List.iter
+                  (fun e ->
+                    cur := G.other_endpoint g e !cur;
+                    in_tree.(!cur) <- true)
+                  path)
+            severed;
+          let candidate = keep @ !patches in
+          let rooted, support =
+            prune_to g ~root:s ~keep_nodes:(s :: must_reach) candidate
+          in
+          let server_of d =
+            match List.assoc_opt d victim.Pseudo_tree.routes with
+            | Some r -> r.Pseudo_tree.server
+            | None -> List.hd victim.Pseudo_tree.servers
+          in
+          let tree = finish_tree ~rooted ~support ~request ~server_of in
+          match Sdn.Network.allocate net (Pseudo_tree.allocation tree) with
+          | Ok () -> Some tree
+          | Error _ -> None
+        with Infeasible | Invalid_argument _ -> None
+    end
+  end
+
+(* ---- tier 2: server migration ----------------------------------------- *)
+
+(* keep the surviving tree over the destinations, move the service chain
+   to the cheapest reachable server. Candidate servers are screened by
+   the triangle-inequality lower bound [w_v + max 0 (dist s v - maxd)]
+   before the per-candidate Dijkstra runs, with Online_cp's ULP slack so
+   screening never reorders the exact outcome. *)
+let try_migrate ~budget ~eng ~mode ~params ~link_down ~server_down net
+    (victim : Pseudo_tree.t) =
+  match victim.Pseudo_tree.servers with
+  | [] | _ :: _ :: _ -> None
+  | [ _v0 ] ->
+    let g = Sdn.Network.graph net in
+    let request = victim.Pseudo_tree.request in
+    let s = request.Sdn.Request.source in
+    let dests = request.Sdn.Request.destinations in
+    let demand = Sdn.Request.demand_mhz request in
+    let support = List.map fst victim.Pseudo_tree.edge_uses in
+    let surviving = List.filter (fun e -> not (link_down e)) support in
+    let in_tree = Array.make (G.n g) false in
+    let keep = component g ~edges:surviving ~from:s in_tree in
+    if not (List.for_all (fun d -> in_tree.(d)) dests) then None
+    else begin
+      try
+        let rooted, kept =
+          prune_to g ~root:s ~keep_nodes:(s :: dests) keep
+        in
+        let tree_nodes = Tree.nodes rooted in
+        let spt_s = Sp.spt eng s in
+        let maxd =
+          List.fold_left
+            (fun acc v -> Float.max acc spt_s.Paths.dist.(v))
+            0.0 tree_nodes
+        in
+        let w_v v = Online_cp.server_weight ~mode ~params net ~demand v in
+        let screened =
+          List.filter_map
+            (fun v ->
+              if server_down v || not (Sdn.Network.server_admits net v demand)
+              then None
+              else begin
+                let dsv = spt_s.Paths.dist.(v) in
+                let bound =
+                  if dsv = infinity then
+                    if maxd = infinity then w_v v else infinity
+                  else w_v v +. Float.max 0.0 (dsv -. maxd)
+                in
+                Some (bound, v)
+              end)
+            (Sdn.Network.servers net)
+          |> List.sort compare
+        in
+        (* price candidates in bound order, best-first under the budget *)
+        let priced = ref [] in
+        let incumbent = ref infinity in
+        let considered = ref 0 in
+        List.iter
+          (fun (bound, v) ->
+            if
+              bound = infinity
+              || bound > Online_cp.slack !incumbent
+              || !considered >= budget.max_migrate_candidates
+            then Obs.Counter.incr c_migrate_pruned
+            else begin
+              incr considered;
+              let spt_v = Sp.spt eng v in
+              let best = ref (-1) and bd = ref infinity in
+              List.iter
+                (fun u ->
+                  if spt_v.Paths.dist.(u) < !bd then begin
+                    best := u;
+                    bd := spt_v.Paths.dist.(u)
+                  end
+                  else if
+                    spt_v.Paths.dist.(u) = !bd && !best >= 0 && u < !best
+                  then best := u)
+                (List.sort compare tree_nodes);
+              if !best >= 0 && !bd < infinity then begin
+                let score = w_v v +. !bd in
+                if score < !incumbent then incumbent := score;
+                priced := (score, v, !best) :: !priced
+              end
+            end)
+          screened;
+        let ranked = List.sort compare !priced in
+        let rec attempt = function
+          | [] -> None
+          | (_score, v, attach) :: rest -> (
+            let spt_v = Sp.spt eng v in
+            match Paths.path_edges g spt_v attach with
+            | None -> attempt rest
+            | Some path -> (
+              match
+                let rooted2 = Tree.of_edges g ~root:s (kept @ path) in
+                let tree =
+                  finish_tree ~rooted:rooted2 ~support:(kept @ path)
+                    ~request ~server_of:(fun _ -> v)
+                in
+                (tree, Sdn.Network.allocate net (Pseudo_tree.allocation tree))
+              with
+              | tree, Ok () -> Some tree
+              | _, Error _ -> attempt rest
+              | exception Invalid_argument _ -> attempt rest))
+        in
+        attempt ranked
+      with Invalid_argument _ -> None
+    end
+
+(* ---- the escalation ladder -------------------------------------------- *)
+
+let repair ?(budget = default_budget) ?(algo = Admission.Online_cp) ?window
+    ~link_down ~server_down net (victim : Pseudo_tree.t) =
+  Obs.Counter.incr c_attempted;
+  let t0 = if !Obs.enabled then !Obs.clock () else 0.0 in
+  let mode, params = pricing_of_algo net algo in
+  let eng =
+    repair_engine ?window ~mode ~params net
+      ~bandwidth:victim.Pseudo_tree.request.Sdn.Request.bandwidth
+  in
+  let patched =
+    Obs.Span.run "repair.patch" @@ fun () ->
+    try_patch ~budget ~eng ~link_down ~server_down net victim
+  in
+  let result =
+    match patched with
+    | Some tree ->
+      Obs.Counter.incr c_patched;
+      Repaired { tree; tier = Patched }
+    | None -> (
+      let migrated =
+        Obs.Span.run "repair.migrate" @@ fun () ->
+        try_migrate ~budget ~eng ~mode ~params ~link_down ~server_down net
+          victim
+      in
+      match migrated with
+      | Some tree ->
+        Obs.Counter.incr c_migrated;
+        Repaired { tree; tier = Migrated }
+      | None ->
+        if not budget.allow_readmit then begin
+          Obs.Counter.incr c_dropped;
+          Dropped "patch and migration failed; re-admission disabled"
+        end
+        else begin
+          let readmitted =
+            Obs.Span.run "repair.readmit" @@ fun () ->
+            Admission.admit_tree ?window net algo
+              victim.Pseudo_tree.request
+          in
+          match readmitted with
+          | Ok tree ->
+            Obs.Counter.incr c_readmitted;
+            Repaired { tree; tier = Readmitted }
+          | Error msg ->
+            Obs.Counter.incr c_dropped;
+            Dropped msg
+        end)
+  in
+  if !Obs.enabled then Obs.Histogram.observe h_attempt (!Obs.clock () -. t0);
+  result

@@ -1,0 +1,99 @@
+(** Tiered recovery of admitted multicast trees after a failure.
+
+    When {!Sdn.Fault} takes a link or an NFV server down, every session
+    whose pseudo-multicast tree touched the failed resource is evicted:
+    its allocation has already been released in full, but its request is
+    still live. [repair] tries to restore service with escalating
+    effort, preferring the cheapest change to the running tree:
+
+    + {e Local patch} ({!Patched}) — keep the surviving part of the old
+      tree and re-attach every severed destination/server through
+      current shortest paths (the same {!Sp_window} engines admission
+      uses, so cached Dijkstra trees are shared).
+    + {e Server migration} ({!Migrated}) — keep the surviving tree
+      spanning the destinations but move the service chain to a new
+      server, chosen by the pruned candidate machinery of
+      {!Online_cp} (distance-lower-bound screening with the same ULP
+      {!Online_cp.slack} guard).
+    + {e Full re-admission} ({!Readmitted}) — forget the old tree and
+      run {!Admission.admit_tree} from scratch.
+
+    Each tier is budgeted (see {!budget}) and instrumented; a request
+    that no tier can restore is {!Dropped} with nothing allocated.
+
+    {2 Preconditions and exactness}
+
+    The victim's old allocation must already be {e fully released}
+    (exactly what {!Sdn.Fault.inject} guarantees), and failed resources
+    must be unavailable in the network itself — Fault's confiscation
+    leaves them with zero residual, so every weight function prices them
+    at [infinity] and no tier can route through them. The [link_down] /
+    [server_down] predicates only tell repair {e which parts of the old
+    tree} to treat as lost; they do not influence pricing. On success
+    the returned tree's allocation has been atomically committed; on
+    {!Dropped} the network is exactly as the failure left it.
+
+    {2 Determinism}
+
+    Repair reads no clock (telemetry aside) and draws no randomness:
+    candidate orders are (score, id)-sorted with fixed tie-breaks, so a
+    given (network state, victim, predicates) always yields the same
+    outcome — the property the churn experiment's [--jobs] invariance
+    rests on.
+
+    {2 Telemetry}
+
+    Counters [repair.attempted], [repair.patched], [repair.migrated],
+    [repair.readmitted], [repair.dropped] (every attempt increments
+    exactly one terminal counter, so the four outcomes sum to
+    [repair.attempted]) and [repair.migrate.pruned] for candidates
+    screened out by the lower bound; span histograms [repair.patch],
+    [repair.migrate], [repair.readmit] time each tier and
+    [repair.attempt] the whole call. *)
+
+type tier =
+  | Patched  (** tier 1: severed subtrees re-attached, server kept *)
+  | Migrated  (** tier 2: surviving tree kept, service chain moved *)
+  | Readmitted  (** tier 3: fresh admission, old structure discarded *)
+
+val tier_to_string : tier -> string
+
+type outcome =
+  | Repaired of { tree : Pseudo_tree.t; tier : tier }
+      (** the new tree's resources are reserved in the network *)
+  | Dropped of string  (** no tier succeeded; nothing is allocated *)
+
+type budget = {
+  max_patch_paths : int;
+      (** tier 1 gives up when more than this many severed terminals
+          need re-attaching *)
+  max_migrate_candidates : int;
+      (** tier 2 prices at most this many candidate servers (the
+          bound-sorted prefix) *)
+  allow_readmit : bool;  (** whether tier 3 may run at all *)
+}
+
+val default_budget : budget
+(** [{ max_patch_paths = 8; max_migrate_candidates = 16;
+      allow_readmit = true }]. *)
+
+val repair :
+  ?budget:budget ->
+  ?algo:Admission.algorithm ->
+  ?window:Sp_window.t ->
+  link_down:(int -> bool) ->
+  server_down:(int -> bool) ->
+  Sdn.Network.t ->
+  Pseudo_tree.t ->
+  outcome
+(** [repair ~link_down ~server_down net victim] attempts the tiers in
+    order on an evicted tree whose allocation is already released.
+    [algo] (default {!Admission.Online_cp}) selects the pricing model:
+    tiers 1–2 price links and servers with {!Online_cp.link_weight} /
+    {!Online_cp.server_weight} in the matching mode, and tier 3 runs
+    {!Admission.admit_tree} with the same algorithm
+    ({!Admission.Online_cp_no_threshold} reuses
+    {!Admission.no_threshold_params}). [window] shares shortest-path
+    engines with the surrounding admission run — repair registers its
+    engines under {!Online_cp.weight_family}, so patching after an
+    admission burst starts from warm Dijkstra trees. *)

@@ -8,3 +8,5 @@ val spec : Spec.t
     [--requests] is ignored. *)
 
 val run : ?seed:int -> ?n:int -> ?sizes:int list -> unit -> Exp_common.figure list
+(** [n] is the network size (default 80), [sizes] the batch sizes
+    swept. *)

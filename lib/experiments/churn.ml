@@ -1,0 +1,180 @@
+module Adm = Nfv_multicast.Admission
+module Repair = Nfv_multicast.Repair
+module Pseudo_tree = Nfv_multicast.Pseudo_tree
+module Sp_window = Nfv_multicast.Sp_window
+module Fault = Sdn.Fault
+
+(* Failure churn on the paper's two real topologies.
+
+   One pool point = one (topology, offered load, failure rate): admit
+   [load] online requests with Online_CP while a seeded Fault schedule
+   of [rate * load] link/server failures fires between arrivals; every
+   evicted session goes through Repair's tier ladder. The tables are
+   the repair.* counter deltas (tier breakdown, survival) plus
+   p50/p99 repair latency read from the repair.attempt histogram —
+   again exactly the telemetry an operator would scrape. *)
+
+let nets =
+  [
+    ("GEANT", 'A', fun rng -> Exp_common.geant_network rng);
+    ("AS1755", 'B', fun rng -> Exp_common.as1755_network rng);
+  ]
+
+let rates = [ 0.05; 0.1; 0.2 ]
+let default_requests = 800
+
+(* two load levels per topology: the horizon and its half, so
+   --requests scales the whole sweep down for smoke runs *)
+let loads_of requests = List.map (fun d -> max 1 (requests / d)) [ 2; 1 ]
+
+let tiers =
+  [
+    ("patched", "repair.patched");
+    ("migrated", "repair.migrated");
+    ("readmitted", "repair.readmitted");
+    ("dropped", "repair.dropped");
+  ]
+
+let metrics = [ "survival" ] @ List.map fst tiers @ [ "p50_ms"; "p99_ms" ]
+
+(* one point: drive arrivals and the failure schedule in lockstep *)
+let run_point ~make_net ~load ~rate ~rng =
+  let net = make_net rng in
+  let reqs = Workload.Gen.sequence rng net ~count:load in
+  let events =
+    int_of_float (Float.round (rate *. float_of_int load))
+  in
+  let schedule =
+    Fault.random_schedule
+      ~heal_after:(max 1 (load / 4))
+      ~rng ~horizon:load ~events net
+  in
+  let fault = Fault.create net in
+  let window = Sp_window.create net in
+  let attempted = Runner.counter_probe "repair.attempted" in
+  let tier_probes =
+    List.map (fun (name, counter) -> (name, Runner.counter_probe counter)) tiers
+  in
+  let latency = Runner.span_probe "repair.attempt" in
+  let live = ref [] in
+  let link_down = Fault.link_is_down fault in
+  let server_down = Fault.server_is_down fault in
+  List.iteri
+    (fun idx r ->
+      (match Adm.admit_tree ~window net Adm.Online_cp r with
+      | Ok tree -> live := (r.Sdn.Request.id, tree) :: !live
+      | Error _ -> ());
+      List.iter
+        (fun (ev : Fault.timed) ->
+          if ev.Fault.after = idx then begin
+            let allocations =
+              List.map
+                (fun (id, tree) -> (id, Pseudo_tree.allocation tree))
+                !live
+            in
+            let victims = Fault.inject fault ~live:allocations ev.Fault.event in
+            List.iter
+              (fun vid ->
+                let vtree = List.assoc vid !live in
+                live := List.remove_assoc vid !live;
+                match
+                  Repair.repair ~window ~link_down ~server_down net vtree
+                with
+                | Repair.Repaired { tree; _ } -> live := (vid, tree) :: !live
+                | Repair.Dropped _ -> ())
+              victims
+          end)
+        schedule)
+    reqs;
+  let att = Runner.counter_delta attempted in
+  let tier_counts =
+    List.map (fun (name, p) -> (name, Runner.counter_delta p)) tier_probes
+  in
+  let repaired =
+    List.fold_left
+      (fun acc (name, c) -> if name = "dropped" then acc else acc + c)
+      0 tier_counts
+  in
+  let survival =
+    if att = 0 then 1.0 else float_of_int repaired /. float_of_int att
+  in
+  (("survival", survival) :: List.map (fun (n, c) -> (n, float_of_int c)) tier_counts)
+  @ [
+      ("p50_ms", Runner.span_quantile_ms latency 0.5);
+      ("p99_ms", Runner.span_quantile_ms latency 0.99);
+    ]
+
+let instance ?(requests = default_requests) () =
+  let loads = loads_of requests in
+  let n_rates = List.length rates in
+  let per_net = List.length loads * n_rates in
+  let params =
+    Array.of_list
+      (List.concat_map
+         (fun (_, _, make_net) ->
+           List.concat_map
+             (fun load -> List.map (fun rate -> (make_net, load, rate)) rates)
+             loads)
+         nets)
+  in
+  let sweep =
+    {
+      Spec.key = "churn";
+      points = Array.length params;
+      point =
+        (fun ~rng i ->
+          let make_net, load, rate = params.(i) in
+          run_point ~make_net ~load ~rate ~rng);
+    }
+  in
+  let figures =
+    List.mapi
+      (fun ni (name, tag, _) ->
+        {
+          Spec.fid = Printf.sprintf "churn%c" tag;
+          title = "Failure churn: survival and repair tiers in " ^ name;
+          xlabel = "failure events per arrival";
+          ylabel = "survival rate / repairs / latency (ms)";
+          series =
+            List.concat_map
+              (fun (li, load) ->
+                List.map
+                  (fun m ->
+                    {
+                      Spec.label = Printf.sprintf "%s@%d" m load;
+                      cells =
+                        List.mapi
+                          (fun ri rate ->
+                            {
+                              Spec.x = rate;
+                              sweep = 0;
+                              point = (ni * per_net) + (li * n_rates) + ri;
+                              metric = m;
+                            })
+                          rates;
+                    })
+                  metrics)
+              (List.mapi (fun li l -> (li, l)) loads);
+          notes =
+            [
+              Printf.sprintf
+                "%s, Online_CP + Fault.random_schedule (heal_after = \
+                 load/4); tier columns are repair.* counter deltas, \
+                 latency columns are p50/p99 of the repair.attempt \
+                 histogram"
+                name;
+            ];
+        })
+      nets
+  in
+  { Spec.sweeps = [ sweep ]; figures }
+
+let spec =
+  Spec.make ~id:"churn"
+    ~doc:
+      "Churn: failure injection + tiered repair, survival and latency vs \
+       failure rate on GEANT/AS1755"
+    ~figure_ids:[ "churnA"; "churnB" ] ~default_requests
+    (fun ~seed:_ ~requests -> instance ?requests ())
+
+let run ?(seed = 1) ?requests () = Runner.figures ~seed (instance ?requests ())

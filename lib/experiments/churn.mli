@@ -1,0 +1,24 @@
+(** Churn sweep: failure injection and tiered repair on the paper's two
+    real topologies (GÉANT, AS1755). Each grid point admits an online
+    request sequence with Online_CP while a seeded [Sdn.Fault] schedule
+    fires link/server failures between arrivals; every evicted session
+    goes through [Nfv_multicast.Repair]'s tier ladder (patch →
+    migrate → re-admit). The tables report the survival rate, the
+    [repair.*] tier breakdown (counter deltas) and p50/p99 repair
+    latency from the [repair.attempt] histogram — so they double as a
+    check that the repair telemetry matches the simulation.
+
+    Determinism: networks, workloads and failure schedules all derive
+    from the per-point RNG, repair itself draws no randomness, and the
+    latency columns are histogram quantiles that are exact under the
+    fake clock — so every column is byte-identical across [--jobs]
+    settings. *)
+
+val spec : Spec.t
+(** Registered as ["churn"]; figures [churnA] (GÉANT) and [churnB]
+    (AS1755). X is the failure rate (events per arrival: 0.05, 0.1,
+    0.2); series are [<metric>@<load>] for two load levels,
+    [--requests] and its half. *)
+
+val run : ?seed:int -> ?requests:int -> unit -> Exp_common.figure list
+(** Convenience wrapper: run the spec's instance directly. *)

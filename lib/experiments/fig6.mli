@@ -6,6 +6,8 @@
     AS1755 at ratio 0.15), slightly slower. *)
 
 val spec : Spec.t
+(** Registered as ["fig6"]; figures [fig6a]/[fig6b] (cost) and
+    [fig6c]/[fig6d] (running time from the solve span histograms). *)
 
 val run : ?seed:int -> ?requests:int -> unit -> Exp_common.figure list
 (** Defaults: seed 1, 100 requests averaged per point. *)

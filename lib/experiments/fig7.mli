@@ -12,3 +12,5 @@ val spec : Spec.t
     admit attempt, rejected ones included. *)
 
 val run : ?seed:int -> ?requests:int -> ?sizes:int list -> unit -> Exp_common.figure list
+(** Defaults: seed 1, 120 sequentially admitted requests per point,
+    sizes [[50; 100; 150; 200; 250]]. *)

@@ -8,5 +8,9 @@
     point. *)
 
 val spec : Spec.t
+(** Registered as ["fig9"]; figures [fig9a] (GÉANT) and [fig9b]
+    (AS1755), admitted requests per prefix length. *)
 
 val run : ?seed:int -> ?requests:int -> unit -> Exp_common.figure list
+(** Defaults: seed 1, 1 500-request sequences ([requests] sets the
+    horizon; every prefix point comes from the same run). *)

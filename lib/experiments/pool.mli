@@ -2,7 +2,7 @@
 
     Every figure of the evaluation section is embarrassingly parallel
     per data point, and every data point derives all of its randomness
-    from one {!Topology.Rng.t}. [Pool.map] fans the points of a figure
+    from one [Topology.Rng.t]. [Pool.map] fans the points of a figure
     out across a fixed set of worker domains (no work stealing: one
     shared atomic index, claimed in order) and returns the results in
     point order.

@@ -1,6 +1,6 @@
 (* The one list every frontend enumerates. Order is presentation order:
    the paper's figures first, then the ablations and extensions, then
-   the stress telemetry sweep. *)
+   the stress and churn telemetry sweeps. *)
 let all : Spec.t list =
   [
     Fig5.spec;
@@ -14,6 +14,7 @@ let all : Spec.t list =
     Delay_exp.spec;
     Table_exp.spec;
     Stress.spec;
+    Churn.spec;
   ]
 
 let ids = List.map (fun s -> s.Spec.id) all

@@ -6,7 +6,7 @@
 
 val all : Spec.t list
 (** Every registered family: fig5–fig9, ablation, dynamic, batch, delay,
-    tables, stress. *)
+    tables, stress, churn. *)
 
 val ids : string list
 (** The ids of {!all}, in the same order. *)

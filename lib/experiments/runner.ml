@@ -11,11 +11,21 @@ module Obs = Nfv_obs.Obs
    which is what keeps histogram-sourced timing columns byte-identical
    across jobs settings. *)
 
-type span_probe = { h : Obs.Histogram.t; c0 : int; s0 : float }
+type span_probe = {
+  h : Obs.Histogram.t;
+  c0 : int;
+  s0 : float;
+  b0 : int array;  (* per-bucket counts at creation, for delta quantiles *)
+}
 
 let span_probe name =
   let h = Obs.Histogram.make name in
-  { h; c0 = Obs.Histogram.count h; s0 = Obs.Histogram.sum h }
+  {
+    h;
+    c0 = Obs.Histogram.count h;
+    s0 = Obs.Histogram.sum h;
+    b0 = Obs.Histogram.buckets h;
+  }
 
 let span_count p = Obs.Histogram.count p.h - p.c0
 
@@ -23,6 +33,37 @@ let span_mean_ms p =
   let dc = span_count p in
   if dc = 0 then 0.0
   else 1000.0 *. (Obs.Histogram.sum p.h -. p.s0) /. float_of_int dc
+
+(* Obs.Histogram.quantile over the *delta* buckets: the upper bound of
+   the first bucket at which the cumulative delta reaches q * total
+   (infinity when it only lands in the overflow bucket, 0 when nothing
+   was recorded) — the same upper-estimate semantics the histogram's own
+   quantile has, but restricted to what happened after the probe *)
+let span_quantile_ms p q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Runner.span_quantile_ms";
+  let now = Obs.Histogram.buckets p.h in
+  let delta = Array.mapi (fun i c -> c - p.b0.(i)) now in
+  let total = Array.fold_left ( + ) 0 delta in
+  if total = 0 then 0.0
+  else begin
+    let bounds = Obs.Histogram.bounds p.h in
+    let target = q *. float_of_int total in
+    let cum = ref 0 in
+    let result = ref infinity in
+    (try
+       Array.iteri
+         (fun i c ->
+           cum := !cum + c;
+           if float_of_int !cum >= target then begin
+             result :=
+               (if i < Array.length bounds then 1000.0 *. bounds.(i)
+                else infinity);
+             raise Exit
+           end)
+         delta
+     with Exit -> ());
+    !result
+  end
 
 type counter_probe = { c : Obs.Counter.t; v0 : int }
 

@@ -55,6 +55,16 @@ val span_mean_ms : span_probe -> float
     clock the value is an exact multiple of the tick (dyadic sums), so
     timing columns stay byte-identical across [--jobs] settings. *)
 
+val span_quantile_ms : span_probe -> float -> float
+(** [span_quantile_ms p q] (with [0 ≤ q ≤ 1]) is the q-quantile, in
+    milliseconds, of the observations recorded since the probe was
+    created, at the histogram's bucket resolution — the upper bound of
+    the first bucket at which the cumulative delta count reaches
+    [q × total], mirroring [Obs.Histogram.quantile] on the delta. [0.]
+    when nothing was recorded; [infinity] when the quantile lands in the
+    overflow bucket (legitimately rendered as [inf] in CSV). Source of
+    the churn tables' p50/p99 repair-latency columns. *)
+
 type counter_probe
 
 val counter_probe : string -> counter_probe

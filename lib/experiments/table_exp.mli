@@ -8,3 +8,5 @@ val spec : Spec.t
 (** Registered as ["tables"]. *)
 
 val run : ?seed:int -> ?n:int -> ?requests:int -> unit -> Exp_common.figure list
+(** [n] is the network size, [requests] the sequence length per TCAM
+    budget level. *)

@@ -1,0 +1,133 @@
+(** Deterministic failure injection against a live {!Network}.
+
+    Admitted multicast trees live in an SDN whose links and NFV servers
+    fail; this module is the substrate's failure model. A failure is an
+    ordinary {!event} value applied to a {!t} controller wrapping one
+    network. Injection is built {e entirely} on the network's own atomic
+    allocation primitives: taking a resource down {e confiscates} its
+    remaining residual through {!Network.allocate} (so every weight
+    function, feasibility check and shortest-path cache in the system
+    sees the failure through the normal
+    {!Network.weight_epoch} machinery — no algorithm needs a special
+    "is it down?" hook), and healing releases exactly the confiscated
+    amount back.
+
+    {2 Resource-exactness contract}
+
+    Every injected failure releases {e exactly} what the affected trees
+    held: {!inject} first releases each victim's full
+    {!Network.allocation} (the multiset the admission algorithm
+    reserved), then confiscates the failed resource's remaining
+    residual. Consequently, at every instant,
+
+    {v capacity(r) = residual(r) + confiscated(r) + Σ live allocations on r v}
+
+    holds for every link and server — the invariant the repair property
+    tests pin. Dropped sessions therefore leak nothing, and healing a
+    resource restores precisely the capacity the fault removed.
+
+    {2 Determinism contract}
+
+    Nothing in this module reads a clock or an ambient RNG. Schedules
+    are plain values; {!random_schedule} draws every choice from the
+    supplied [Topology.Rng.t], so a (seed, network, horizon) triple
+    always produces the same schedule, and {!inject} selects degradation
+    victims in increasing session-id order. Replaying the same events
+    against the same network and live set is reproducible bit for bit,
+    which is what lets the churn experiment run under the parallel
+    harness with byte-identical outputs across [--jobs] settings. *)
+
+type event =
+  | Link_down of int  (** take a link out: confiscate its whole residual *)
+  | Link_up of int  (** heal a link: release everything confiscated from it *)
+  | Server_down of int  (** take an NFV server out (node must be a server) *)
+  | Server_up of int  (** heal a server *)
+  | Degrade_link of int * float
+      (** [Degrade_link (e, f)] with [0 ≤ f ≤ 1]: ensure at least
+          [f · capacity] of link [e] is confiscated, evicting live
+          sessions (smallest id first) only as far as needed *)
+  | Degrade_server of int * float  (** same, for a server's computing capacity *)
+
+type timed = {
+  after : int;  (** fire once the request with this arrival index was decided *)
+  event : event;
+}
+(** One scheduled event. The churn driver processes arrivals in order
+    and fires every event whose [after] equals the arrival index just
+    decided; events scheduled past the horizon simply never fire (a
+    resource that fails late stays failed). *)
+
+type schedule = timed list
+(** In firing order: ascending [after], ties in construction order. *)
+
+type t
+(** A fault controller over one network: which links/servers are
+    currently down and how much capacity each fault confiscated. *)
+
+val create : Network.t -> t
+(** A controller with no active faults. The network may already carry
+    allocations; they are untouched. *)
+
+val network : t -> Network.t
+
+val link_is_down : t -> int -> bool
+(** Whether a link is fully down ([Link_down] without a matching
+    [Link_up]); degraded links are {e not} down. [false] for
+    out-of-range ids. *)
+
+val server_is_down : t -> int -> bool
+(** Same for servers ([false] for non-servers). *)
+
+val confiscated_link : t -> int -> float
+(** Mbps currently confiscated from a link (down or degraded); part of
+    the resource-exactness invariant above. Raises [Invalid_argument]
+    on a bad edge id. *)
+
+val confiscated_server : t -> int -> float
+(** MHz currently confiscated from a server. Raises [Invalid_argument]
+    when the node is not a server. *)
+
+val affected : event -> Network.allocation -> bool
+(** Whether a live session holding this allocation is {e potentially} a
+    victim of the event: it holds a positive amount on the failed link
+    or server. [Down] events evict every affected session;
+    [Degrade] events evict only as many as the confiscation target
+    requires (so [affected] over-approximates their victim set);
+    [Up] events never have victims. *)
+
+val inject : t -> live:(int * Network.allocation) list -> event -> int list
+(** [inject t ~live event] applies the event and returns the ids of the
+    evicted victims, in increasing id order. [live] maps session ids
+    (which must be distinct) to the allocations they hold; each victim's
+    allocation is released {e in full} through {!Network.release} before
+    any capacity is confiscated, so the exactness invariant holds at
+    every step. Down/degrade events on an already-down resource are
+    no-ops with no victims; up events on a healthy resource likewise.
+    Raises [Invalid_argument] on a bad link id, a non-server node, or a
+    degradation fraction outside [0, 1]. Telemetry: one
+    [fault.injected.<kind>] counter per event kind, victims under
+    [fault.victims]. *)
+
+val heal_all : t -> unit
+(** Release every confiscation and clear all down flags — the network
+    regains exactly the capacity the faults removed. *)
+
+val random_schedule :
+  ?heal_after:int ->
+  ?degrade_fraction:float ->
+  rng:Topology.Rng.t ->
+  horizon:int ->
+  events:int ->
+  Network.t ->
+  schedule
+(** A seeded schedule of [events] failures with arrival indices uniform
+    in [0, horizon): a mix of link-down (35 %), server-down (20 %),
+    link-degradation (25 %) and server-degradation (20 %) events over
+    uniformly drawn targets, each degradation confiscating
+    [degrade_fraction] (default [0.5]) of the target's capacity. With
+    [heal_after:k], every full outage ([Link_down]/[Server_down]) is
+    followed by the matching up event [k] indices later (possibly past
+    the horizon, where it never fires); degradations are permanent.
+    All randomness comes from [rng]; the result is sorted by
+    [after] with construction order breaking ties. Raises
+    [Invalid_argument] when [horizon ≤ 0] or [events < 0]. *)

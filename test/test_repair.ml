@@ -1,0 +1,349 @@
+(* Failure injection (Sdn.Fault) + tiered recovery (Repair): designed
+   nets pinning which tier fires, and the resource-exactness property —
+   injection and repair conserve capacity exactly, dropped sessions leak
+   nothing. *)
+
+module G = Mcgraph.Graph
+module N = Sdn.Network
+module Fault = Sdn.Fault
+module Adm = Nfv_multicast.Admission
+module Cp = Nfv_multicast.Online_cp
+module Pt = Nfv_multicast.Pseudo_tree
+module Repair = Nfv_multicast.Repair
+module W = Nfv_multicast.Sp_window
+module Rng = Topology.Rng
+module Obs = Nfv_obs.Obs
+
+let with_obs f =
+  Obs.enabled := true;
+  Fun.protect ~finally:(fun () -> Obs.enabled := false) f
+
+(* the five repair outcome counters, read as one tuple *)
+let repair_counters () =
+  let v name = Obs.Counter.value (Obs.Counter.make name) in
+  ( v "repair.attempted",
+    v "repair.patched",
+    v "repair.migrated",
+    v "repair.readmitted",
+    v "repair.dropped" )
+
+let check_counters_sum ~before ~after =
+  let a0, p0, m0, r0, d0 = before and a1, p1, m1, r1, d1 = after in
+  Alcotest.(check int)
+    "repair.* tier counters sum to repair.attempted" (a1 - a0)
+    (p1 - p0 + (m1 - m0) + (r1 - r0) + (d1 - d0))
+
+let mk_request ~id ~source ~destinations ~bandwidth =
+  Sdn.Request.make ~id ~source ~destinations ~bandwidth
+    ~chain:[ Sdn.Vnf.Firewall ]
+
+let repair_with ~window ~fault net tree =
+  Repair.repair ~window
+    ~link_down:(Fault.link_is_down fault)
+    ~server_down:(Fault.server_is_down fault)
+    net tree
+
+(* ---- designed net 1: a single link failure with a detour ----
+       0 --e0-- 1 --e1-- 2(srv)
+                |         |
+                e3       e2
+                |         |
+                4 --e4-- 3(dest)
+   Admitted tree: 0-1-2-3. Killing e2 severs the destination; the patch
+   tier must re-attach it through 4 and keep server 2. *)
+let patch_net () =
+  let g = G.create 5 in
+  let e0 = G.add_edge g 0 1 in
+  let e1 = G.add_edge g 1 2 in
+  let e2 = G.add_edge g 2 3 in
+  let e3 = G.add_edge g 1 4 in
+  let e4 = G.add_edge g 4 3 in
+  let topo = Topology.Topo.make ~name:"patch-net" g in
+  let m = G.m g in
+  let net =
+    N.make_explicit ~topology:topo
+      ~servers:[ (2, 1000.0, 1.0) ]
+      ~link_capacities:(Array.make m 100.0)
+      ~link_unit_costs:(Array.make m 1.0) ()
+  in
+  (net, (e0, e1, e2, e3, e4))
+
+let test_single_edge_failure_is_patched () =
+  with_obs @@ fun () ->
+  let net, (e0, e1, e2, _e3, _e4) = patch_net () in
+  let req = mk_request ~id:0 ~source:0 ~destinations:[ 3 ] ~bandwidth:10.0 in
+  let tree =
+    match Adm.admit_tree net Adm.Online_cp req with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "admission failed: %s" e
+  in
+  Alcotest.(check (list int))
+    "admitted along the short path" [ e0; e1; e2 ]
+    (List.sort compare (List.map fst tree.Pt.edge_uses));
+  let fault = Fault.create net in
+  let before = repair_counters () in
+  let victims = Fault.inject fault ~live:[ (0, Pt.allocation tree) ] (Fault.Link_down e2) in
+  Alcotest.(check (list int)) "the session is evicted" [ 0 ] victims;
+  Alcotest.(check bool) "link marked down" true (Fault.link_is_down fault e2);
+  let window = W.create net in
+  (match repair_with ~window ~fault net tree with
+  | Repair.Repaired { tree = t'; tier = Repair.Patched } ->
+    (match Pt.validate net t' with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "patched tree invalid: %s" e);
+    Alcotest.(check (list int)) "server kept" [ 2 ] t'.Pt.servers;
+    let support = List.sort compare (List.map fst t'.Pt.edge_uses) in
+    Alcotest.(check bool)
+      "patched tree avoids the down link" false (List.mem e2 support)
+  | Repair.Repaired { tier; _ } ->
+    Alcotest.failf "wrong tier: %s (local patch is feasible)"
+      (Repair.tier_to_string tier)
+  | Repair.Dropped msg -> Alcotest.failf "dropped: %s" msg);
+  check_counters_sum ~before ~after:(repair_counters ())
+
+(* healing restores exactly the confiscated capacity *)
+let test_heal_restores_capacity () =
+  let net, (_, _, e2, _, _) = patch_net () in
+  let fault = Fault.create net in
+  ignore (Fault.inject fault ~live:[] (Fault.Link_down e2));
+  Alcotest.(check (Alcotest.float 1e-9)) "down link has zero residual" 0.0
+    (N.link_residual net e2);
+  Alcotest.(check (Alcotest.float 1e-9)) "confiscation = capacity" 100.0
+    (Fault.confiscated_link fault e2);
+  ignore (Fault.inject fault ~live:[] (Fault.Link_up e2));
+  Alcotest.(check (Alcotest.float 1e-9)) "residual restored" 100.0
+    (N.link_residual net e2);
+  Alcotest.(check bool) "flag cleared" false (Fault.link_is_down fault e2)
+
+(* ---- designed net 2: server failure with an alternative server ----
+       0 --e0-- 1 --e1-- 2(srvA)
+                |\
+               e2 e3
+                |  \
+         (dest) 3   5 --e4-- 4(srvB)
+   A is admitted (closer); killing A must migrate the chain to B while
+   keeping the surviving 0-1-3 tree. *)
+let migrate_net () =
+  let g = G.create 6 in
+  let e0 = G.add_edge g 0 1 in
+  let e1 = G.add_edge g 1 2 in
+  let e2 = G.add_edge g 1 3 in
+  let e3 = G.add_edge g 1 5 in
+  let e4 = G.add_edge g 5 4 in
+  let topo = Topology.Topo.make ~name:"migrate-net" g in
+  let m = G.m g in
+  let net =
+    N.make_explicit ~topology:topo
+      ~servers:[ (2, 1000.0, 1.0); (4, 1000.0, 1.0) ]
+      ~link_capacities:(Array.make m 100.0)
+      ~link_unit_costs:(Array.make m 1.0) ()
+  in
+  (net, (e0, e1, e2, e3, e4))
+
+let test_server_failure_is_migrated () =
+  with_obs @@ fun () ->
+  let net, (e0, e1, e2, e3, e4) = migrate_net () in
+  let req = mk_request ~id:0 ~source:0 ~destinations:[ 3 ] ~bandwidth:10.0 in
+  let tree =
+    match Adm.admit_tree net Adm.Online_cp req with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "admission failed: %s" e
+  in
+  Alcotest.(check (list int)) "server A chosen" [ 2 ] tree.Pt.servers;
+  let fault = Fault.create net in
+  let before = repair_counters () in
+  let victims =
+    Fault.inject fault ~live:[ (0, Pt.allocation tree) ] (Fault.Server_down 2)
+  in
+  Alcotest.(check (list int)) "the session is evicted" [ 0 ] victims;
+  let window = W.create net in
+  (match repair_with ~window ~fault net tree with
+  | Repair.Repaired { tree = t'; tier = Repair.Migrated } ->
+    (match Pt.validate net t' with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "migrated tree invalid: %s" e);
+    Alcotest.(check (list int)) "chain moved to B" [ 4 ] t'.Pt.servers;
+    let support = List.sort compare (List.map fst t'.Pt.edge_uses) in
+    Alcotest.(check (list int))
+      "surviving tree kept, B attached" [ e0; e2; e3; e4 ] support;
+    Alcotest.(check bool) "old server edge dropped" false (List.mem e1 support)
+  | Repair.Repaired { tier; _ } ->
+    Alcotest.failf "wrong tier: %s" (Repair.tier_to_string tier)
+  | Repair.Dropped msg -> Alcotest.failf "dropped: %s" msg);
+  check_counters_sum ~before ~after:(repair_counters ())
+
+(* only server down, no alternative anywhere: every tier fails and the
+   drop must leave the network exactly as the failure left it *)
+let test_lone_server_failure_is_dropped () =
+  with_obs @@ fun () ->
+  let net, _ = patch_net () in
+  let req = mk_request ~id:0 ~source:0 ~destinations:[ 3 ] ~bandwidth:10.0 in
+  let tree =
+    match Adm.admit_tree net Adm.Online_cp req with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "admission failed: %s" e
+  in
+  let fault = Fault.create net in
+  let before = repair_counters () in
+  let victims =
+    Fault.inject fault ~live:[ (0, Pt.allocation tree) ] (Fault.Server_down 2)
+  in
+  Alcotest.(check (list int)) "the session is evicted" [ 0 ] victims;
+  let window = W.create net in
+  (match repair_with ~window ~fault net tree with
+  | Repair.Dropped _ -> ()
+  | Repair.Repaired { tier; _ } ->
+    Alcotest.failf "no server is available, yet %s" (Repair.tier_to_string tier));
+  check_counters_sum ~before ~after:(repair_counters ());
+  (* nothing leaked: every link back to capacity, the server fully
+     confiscated and nothing else held *)
+  for e = 0 to N.m net - 1 do
+    Tutil.assert_close "link residual back to capacity"
+      (N.link_capacity net e) (N.link_residual net e)
+  done;
+  Tutil.assert_close "server residual all confiscated" 0.0
+    (N.server_residual net 2);
+  Tutil.assert_close "confiscation equals capacity"
+    (N.server_capacity net 2)
+    (Fault.confiscated_server fault 2)
+
+(* a degradation that needs no eviction has no victims *)
+let test_degrade_without_eviction () =
+  let net, (e0, _, _, _, _) = patch_net () in
+  let fault = Fault.create net in
+  let victims = Fault.inject fault ~live:[] (Fault.Degrade_link (e0, 0.5)) in
+  Alcotest.(check (list int)) "no victims" [] victims;
+  Alcotest.(check bool) "degraded is not down" false (Fault.link_is_down fault e0);
+  Tutil.assert_close "half the capacity confiscated" 50.0
+    (Fault.confiscated_link fault e0);
+  (* degrading again to a lower target confiscates nothing more *)
+  ignore (Fault.inject fault ~live:[] (Fault.Degrade_link (e0, 0.25)));
+  Tutil.assert_close "confiscation is monotone (max of targets)" 50.0
+    (Fault.confiscated_link fault e0)
+
+(* ---- the conservation property ----------------------------------------
+
+   Drive a random admission sequence against a random schedule, repairing
+   every victim. After every event and at the end:
+     capacity(r) = residual(r) + confiscated(r) + Σ live allocations on r
+   for every link and server; tier counters sum to attempted; live trees
+   stay valid. *)
+
+let sum_allocs live =
+  let links = Hashtbl.create 32 and nodes = Hashtbl.create 32 in
+  let bump tbl k v =
+    Hashtbl.replace tbl k (v +. Option.value (Hashtbl.find_opt tbl k) ~default:0.0)
+  in
+  List.iter
+    (fun (_, tree) ->
+      let a = Pt.allocation tree in
+      List.iter (fun (e, amt) -> bump links e amt) a.N.links;
+      List.iter (fun (v, amt) -> bump nodes v amt) a.N.nodes)
+    live;
+  (links, nodes)
+
+let check_conservation net fault live =
+  let links, nodes = sum_allocs live in
+  let held tbl k = Option.value (Hashtbl.find_opt tbl k) ~default:0.0 in
+  for e = 0 to N.m net - 1 do
+    let lhs = N.link_capacity net e -. N.link_residual net e in
+    let rhs = Fault.confiscated_link fault e +. held links e in
+    if Float.abs (lhs -. rhs) > 1e-6 then
+      QCheck.Test.fail_reportf
+        "link %d: allocated %.9g but confiscated+held = %.9g" e lhs rhs
+  done;
+  List.iter
+    (fun v ->
+      let lhs = N.server_capacity net v -. N.server_residual net v in
+      let rhs = Fault.confiscated_server fault v +. held nodes v in
+      if Float.abs (lhs -. rhs) > 1e-6 then
+        QCheck.Test.fail_reportf
+          "server %d: allocated %.9g but confiscated+held = %.9g" v lhs rhs)
+    (N.servers net)
+
+let churn_property seed =
+  with_obs @@ fun () ->
+  let net, rng = Tutil.random_network seed ~lo:12 ~hi:24 in
+  let count = 16 in
+  let reqs = Workload.Gen.sequence rng net ~count in
+  let schedule =
+    Fault.random_schedule ~heal_after:3 ~rng ~horizon:count ~events:6 net
+  in
+  let fault = Fault.create net in
+  let window = W.create net in
+  let before = repair_counters () in
+  let live = ref [] in
+  List.iteri
+    (fun idx r ->
+      (match Adm.admit_tree ~window net Adm.Online_cp r with
+      | Ok t -> live := (r.Sdn.Request.id, t) :: !live
+      | Error _ -> ());
+      List.iter
+        (fun (ev : Fault.timed) ->
+          if ev.Fault.after = idx then begin
+            let allocations =
+              List.map (fun (id, t) -> (id, Pt.allocation t)) !live
+            in
+            let victims = Fault.inject fault ~live:allocations ev.Fault.event in
+            List.iter
+              (fun vid ->
+                let t = List.assoc vid !live in
+                live := List.remove_assoc vid !live;
+                match repair_with ~window ~fault net t with
+                | Repair.Repaired { tree; _ } -> live := (vid, tree) :: !live
+                | Repair.Dropped _ -> ())
+              victims;
+            check_conservation net fault !live
+          end)
+        schedule)
+    reqs;
+  check_conservation net fault !live;
+  List.iter
+    (fun (id, t) ->
+      match Pt.validate net t with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "live tree %d invalid: %s" id e)
+    !live;
+  let a0, p0, m0, r0, d0 = before and a1, p1, m1, r1, d1 = repair_counters () in
+  if a1 - a0 <> p1 - p0 + (m1 - m0) + (r1 - r0) + (d1 - d0) then
+    QCheck.Test.fail_reportf "tier counters do not sum to repair.attempted";
+  (* healing everything must restore the full idle capacity net of what
+     the surviving sessions still hold *)
+  Fault.heal_all fault;
+  let links, nodes = sum_allocs !live in
+  let held tbl k = Option.value (Hashtbl.find_opt tbl k) ~default:0.0 in
+  for e = 0 to N.m net - 1 do
+    let expect = N.link_capacity net e -. held links e in
+    if Float.abs (N.link_residual net e -. expect) > 1e-6 then
+      QCheck.Test.fail_reportf "after heal_all, link %d residual wrong" e
+  done;
+  List.iter
+    (fun v ->
+      let expect = N.server_capacity net v -. held nodes v in
+      if Float.abs (N.server_residual net v -. expect) > 1e-6 then
+        QCheck.Test.fail_reportf "after heal_all, server %d residual wrong" v)
+    (N.servers net);
+  true
+
+let () =
+  Alcotest.run "repair"
+    [
+      ( "designed",
+        [
+          Alcotest.test_case "single edge failure -> patched" `Quick
+            test_single_edge_failure_is_patched;
+          Alcotest.test_case "heal restores capacity" `Quick
+            test_heal_restores_capacity;
+          Alcotest.test_case "server failure -> migrated" `Quick
+            test_server_failure_is_migrated;
+          Alcotest.test_case "lone server failure -> dropped" `Quick
+            test_lone_server_failure_is_dropped;
+          Alcotest.test_case "degrade without eviction" `Quick
+            test_degrade_without_eviction;
+        ] );
+      ( "property",
+        [
+          Tutil.qtest ~count:40 "injection + repair conserves resources"
+            QCheck.small_nat churn_property;
+        ] );
+    ]
