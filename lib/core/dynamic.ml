@@ -1,5 +1,12 @@
 module Rng = Topology.Rng
 module Pq = Mcgraph.Pqueue
+module Obs = Nfv_obs.Obs
+
+(* heal-triggered restoration telemetry: one attempted per re-admission
+   try, exactly one of restored/failed per attempt *)
+let c_restore_attempted = Obs.Counter.make "restoration.attempted"
+let c_restore_restored = Obs.Counter.make "restoration.restored"
+let c_restore_failed = Obs.Counter.make "restoration.failed"
 
 type arrival = {
   at : float;
@@ -35,17 +42,64 @@ type stats = {
   mean_concurrent : float;
   mean_utilization : float;
   horizon : float;
+  evicted : int;
+  repaired : int;
+  dropped : int;
+  restored : int;
 }
+
+type faults = {
+  timeline : Sdn.Fault.timeline;
+  controller : Sdn.Fault.t option;
+  budget : Repair.budget;
+  restore : Batch.order option;
+}
+
+let make_faults ?controller ?(budget = Repair.default_budget)
+    ?(restore = Some Batch.Smallest_first) timeline =
+  { timeline; controller; budget; restore }
+
+type happened =
+  | Arrived of { id : int; tree : Pseudo_tree.t option }
+  | Departed of { id : int; released : bool }
+  | Fault_fired of { event : Sdn.Fault.event; victims : int list }
+  | Repaired of { id : int; tier : Repair.tier; tree : Pseudo_tree.t }
+  | Dropped of { id : int }
+  | Restored of { id : int; tree : Pseudo_tree.t }
 
 type event =
   | Arrive of arrival
-  | Depart of Pseudo_tree.t
+  | Depart of int
+  | Strike of Sdn.Fault.event
 
-let run ?(reset = true) net algo trace =
+let run ?(reset = true) ?faults ?(observe = fun _ _ -> ()) net algo trace =
   if reset then Sdn.Network.reset net;
+  let fault =
+    match faults with
+    | None -> None
+    | Some f ->
+      Some (match f.controller with
+           | Some c -> c
+           | None -> Sdn.Fault.create net)
+  in
+  let window = Sp_window.create net in
   let q = ref (Pq.of_list (List.map (fun a -> (a.at, Arrive a)) trace)) in
+  (match faults with
+  | None -> ()
+  | Some f ->
+    List.iter
+      (fun (s : Sdn.Fault.stamped) ->
+        q := Pq.insert !q s.Sdn.Fault.at (Strike s.Sdn.Fault.event))
+      f.timeline);
   let admitted = ref 0 and rejected = ref 0 and completed = ref 0 in
+  let evicted = ref 0 and repaired = ref 0 in
+  let dropped = ref 0 and restored = ref 0 in
   let concurrent = ref 0 and peak = ref 0 in
+  (* sessions currently holding resources, and evicted-but-droppped
+     sessions whose natural lifetime has not ended yet (the restoration
+     backlog); both keyed by request id, which must be distinct *)
+  let live : (int, Pseudo_tree.t) Hashtbl.t = Hashtbl.create 64 in
+  let backlog : (int, Sdn.Request.t) Hashtbl.t = Hashtbl.create 16 in
   let last_time = ref 0.0 in
   let conc_integral = ref 0.0 and util_integral = ref 0.0 in
   let step now =
@@ -53,6 +107,70 @@ let run ?(reset = true) net algo trace =
     conc_integral := !conc_integral +. (dt *. float_of_int !concurrent);
     util_integral := !util_integral +. (dt *. Sdn.Network.mean_link_utilization net);
     last_time := now
+  in
+  let enter id tree =
+    Hashtbl.replace live id tree;
+    incr concurrent;
+    if !concurrent > !peak then peak := !concurrent
+  in
+  let sorted_live () =
+    Hashtbl.fold (fun id tree acc -> (id, tree) :: acc) live []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let strike now ev =
+    let fault = Option.get fault and cfg = Option.get faults in
+    let holders = sorted_live () in
+    let allocations =
+      List.map (fun (id, t) -> (id, Pseudo_tree.allocation t)) holders
+    in
+    let victims = Sdn.Fault.inject fault ~live:allocations ev in
+    evicted := !evicted + List.length victims;
+    observe now (Fault_fired { event = ev; victims });
+    List.iter
+      (fun vid ->
+        let vtree = Hashtbl.find live vid in
+        Hashtbl.remove live vid;
+        match
+          Repair.repair ~budget:cfg.budget ~algo ~window
+            ~link_down:(Sdn.Fault.link_is_down fault)
+            ~server_down:(Sdn.Fault.server_is_down fault)
+            net vtree
+        with
+        | Repair.Repaired { tree; tier } ->
+          incr repaired;
+          Hashtbl.replace live vid tree;
+          observe now (Repaired { id = vid; tier; tree })
+        | Repair.Dropped _ ->
+          incr dropped;
+          decr concurrent;
+          Hashtbl.replace backlog vid vtree.Pseudo_tree.request;
+          observe now (Dropped { id = vid }))
+      victims;
+    (* a heal returns capacity: proactively re-admit the dropped backlog
+       in the chosen batch order (each survivor keeps its original
+       departure time, still scheduled in the queue) *)
+    match (ev, cfg.restore) with
+    | (Sdn.Fault.Link_up _ | Sdn.Fault.Server_up _), Some order
+      when Hashtbl.length backlog > 0 ->
+      Obs.Span.run "restoration.pass" @@ fun () ->
+      let pending =
+        Hashtbl.fold (fun id r acc -> (id, r) :: acc) backlog []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        |> List.map snd
+      in
+      List.iter
+        (fun (r : Sdn.Request.t) ->
+          Obs.Counter.incr c_restore_attempted;
+          match Admission.admit_tree ~window net algo r with
+          | Ok tree ->
+            Obs.Counter.incr c_restore_restored;
+            Hashtbl.remove backlog r.Sdn.Request.id;
+            incr restored;
+            enter r.Sdn.Request.id tree;
+            observe now (Restored { id = r.Sdn.Request.id; tree })
+          | Error _ -> Obs.Counter.incr c_restore_failed)
+        (Batch.reorder ~window net pending order)
+    | _ -> ()
   in
   let rec drain () =
     match Pq.pop !q with
@@ -62,20 +180,35 @@ let run ?(reset = true) net algo trace =
       step now;
       (match ev with
       | Arrive a -> (
-        match Admission.admit_tree net algo a.request with
+        let id = a.request.Sdn.Request.id in
+        match Admission.admit_tree ~window net algo a.request with
         | Ok tree ->
           incr admitted;
-          incr concurrent;
-          if !concurrent > !peak then peak := !concurrent;
-          q := Pq.insert !q (now +. a.holding) (Depart tree)
-        | Error _ -> incr rejected)
-      | Depart tree ->
-        (* release reprices every load-dependent weight; it bumps the
-           network's weight epoch, so the next arrival's shortest-path
-           engine cannot serve trees computed under the old prices *)
-        Sdn.Network.release net (Pseudo_tree.allocation tree);
-        decr concurrent;
-        incr completed);
+          enter id tree;
+          q := Pq.insert !q (now +. a.holding) (Depart id);
+          observe now (Arrived { id; tree = Some tree })
+        | Error _ ->
+          incr rejected;
+          observe now (Arrived { id; tree = None }))
+      | Depart id -> (
+        match Hashtbl.find_opt live id with
+        | Some tree ->
+          (* release reprices every load-dependent weight; it bumps the
+             network's weight epoch, so the next arrival's shortest-path
+             engine cannot serve trees computed under the old prices *)
+          Sdn.Network.release net (Pseudo_tree.allocation tree);
+          Hashtbl.remove live id;
+          decr concurrent;
+          incr completed;
+          observe now (Departed { id; released = true })
+        | None ->
+          (* evicted by a fault and never restored: its allocation was
+             already released at eviction, so there is nothing to give
+             back (releasing again would double-free); its lifetime is
+             over, so it also leaves the restoration backlog *)
+          Hashtbl.remove backlog id;
+          observe now (Departed { id; released = false }))
+      | Strike ev -> strike now ev);
       drain ()
   in
   drain ();
@@ -92,4 +225,8 @@ let run ?(reset = true) net algo trace =
     mean_concurrent = (if horizon > 0.0 then !conc_integral /. horizon else 0.0);
     mean_utilization = (if horizon > 0.0 then !util_integral /. horizon else 0.0);
     horizon;
+    evicted = !evicted;
+    repaired = !repaired;
+    dropped = !dropped;
+    restored = !restored;
   }

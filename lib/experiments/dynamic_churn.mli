@@ -1,0 +1,29 @@
+(** Dynamic churn sweep: steady-state survival under failures with
+    Poisson arrivals {e and} departures, on the paper's two real
+    topologies (GÉANT, AS1755). Each grid point runs
+    [Nfv_multicast.Dynamic.run] with a time-stamped [Sdn.Fault]
+    timeline merged into the event queue: evictions go through the
+    repair tier ladder, drops enter a backlog, and every heal triggers
+    a proactive restoration pass (smallest-first re-admission). Each
+    topology is swept under two failure models drawn from the same
+    generator — independent single-link cuts (singleton groups) and
+    correlated SRLG cuts (coordinate clusters on GÉANT, a seeded
+    partition on AS1755) — so the SRLG rows isolate exactly the cost
+    of correlation.
+
+    Determinism: networks, traces, partitions and timelines all derive
+    from the per-point RNG; Dynamic/Repair draw no randomness and the
+    latency columns are histogram quantiles, exact under the fake
+    clock — every column is byte-identical across [--jobs] settings. *)
+
+val spec : Spec.t
+(** Registered as ["dynamic_churn"]; figures [dynchA]/[dynchB] (GÉANT
+    independent/SRLG) and [dynchC]/[dynchD] (AS1755 independent/SRLG).
+    X is the failure rate (cut events per arrival: 0.05, 0.1, 0.2);
+    series are [<metric>@<load>] for two load levels, [--requests] and
+    its half, with metrics: acceptance ratio, survival, the four
+    [repair.*] tiers, restored count, restored fraction of drops, and
+    p50/p99 repair latency. *)
+
+val run : ?seed:int -> ?requests:int -> unit -> Exp_common.figure list
+(** Convenience wrapper: run the spec's instance directly. *)

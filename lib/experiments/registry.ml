@@ -15,6 +15,7 @@ let all : Spec.t list =
     Table_exp.spec;
     Stress.spec;
     Churn.spec;
+    Dynamic_churn.spec;
   ]
 
 let ids = List.map (fun s -> s.Spec.id) all

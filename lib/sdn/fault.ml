@@ -21,6 +21,9 @@ type event =
 type timed = { after : int; event : event }
 type schedule = timed list
 
+type stamped = { at : float; event : event }
+type timeline = stamped list
+
 type t = {
   net : Network.t;
   link_down : bool array;       (* edge id -> fully out? *)
@@ -216,6 +219,21 @@ let heal_all t =
   Array.fill t.link_down 0 (Array.length t.link_down) false;
   Array.fill t.srv_down 0 (Array.length t.srv_down) false
 
+(* the failure-kind mix shared by the arrival-indexed and time-stamped
+   generators: 35 % link outage, 20 % server outage, 25 % link
+   degradation, 20 % server degradation, all over uniform targets *)
+let draw_failure rng ~m ~servers ~degrade_fraction =
+  let u = Rng.float rng 1.0 in
+  if u < 0.35 && m > 0 then Link_down (Rng.int rng m)
+  else if u < 0.55 then Server_down (Rng.choose rng servers)
+  else if u < 0.8 && m > 0 then Degrade_link (Rng.int rng m, degrade_fraction)
+  else Degrade_server (Rng.choose rng servers, degrade_fraction)
+
+let heal_of = function
+  | Link_down e -> Some (Link_up e)
+  | Server_down v -> Some (Server_up v)
+  | Degrade_link _ | Degrade_server _ | Link_up _ | Server_up _ -> None
+
 let random_schedule ?heal_after ?(degrade_fraction = 0.5) ~rng ~horizon ~events
     net =
   if horizon <= 0 then invalid_arg "Fault.random_schedule: horizon <= 0";
@@ -225,14 +243,7 @@ let random_schedule ?heal_after ?(degrade_fraction = 0.5) ~rng ~horizon ~events
   let failures =
     List.init events (fun _ ->
         let after = Rng.int rng horizon in
-        let u = Rng.float rng 1.0 in
-        let event =
-          if u < 0.35 && m > 0 then Link_down (Rng.int rng m)
-          else if u < 0.55 then Server_down (Rng.choose rng servers)
-          else if u < 0.8 && m > 0 then
-            Degrade_link (Rng.int rng m, degrade_fraction)
-          else Degrade_server (Rng.choose rng servers, degrade_fraction)
-        in
+        let event = draw_failure rng ~m ~servers ~degrade_fraction in
         { after; event })
   in
   let heals =
@@ -241,10 +252,119 @@ let random_schedule ?heal_after ?(degrade_fraction = 0.5) ~rng ~horizon ~events
     | Some k ->
       List.filter_map
         (fun f ->
-          match f.event with
-          | Link_down e -> Some { after = f.after + k; event = Link_up e }
-          | Server_down v -> Some { after = f.after + k; event = Server_up v }
-          | Degrade_link _ | Degrade_server _ | Link_up _ | Server_up _ -> None)
+          Option.map (fun ev -> { after = f.after + k; event = ev })
+            (heal_of f.event))
         failures
   in
   List.stable_sort (fun a b -> compare a.after b.after) (failures @ heals)
+
+let random_timeline ?heal_after ?(degrade_fraction = 0.5) ~rng ~horizon ~events
+    net =
+  if not (horizon > 0.0) then
+    invalid_arg "Fault.random_timeline: horizon <= 0";
+  if events < 0 then invalid_arg "Fault.random_timeline: events < 0";
+  (match heal_after with
+  | Some h when not (h > 0.0) ->
+    invalid_arg "Fault.random_timeline: heal_after <= 0"
+  | _ -> ());
+  let m = Network.m net in
+  let servers = Array.of_list (Network.servers net) in
+  let failures =
+    List.init events (fun _ ->
+        let at = Rng.float rng horizon in
+        let event = draw_failure rng ~m ~servers ~degrade_fraction in
+        { at; event })
+  in
+  let heals =
+    match heal_after with
+    | None -> []
+    | Some h ->
+      List.filter_map
+        (fun f ->
+          Option.map (fun ev -> { at = f.at +. h; event = ev }) (heal_of f.event))
+        failures
+  in
+  List.stable_sort (fun a b -> compare a.at b.at) (failures @ heals)
+
+(* ---- shared-risk link groups ------------------------------------------ *)
+
+let srlg_partition ?(groups = 8) ~rng net =
+  if groups <= 0 then invalid_arg "Fault.srlg_partition: groups <= 0";
+  let m = Network.m net in
+  if m = 0 then [||]
+  else begin
+    let k = min groups m in
+    let assigned =
+      match (Network.topology net).Topology.Topo.coords with
+      | Some c ->
+        (* geometric risk: seed [k] distinct links, then put every link
+           in the group of the seed whose midpoint is closest (ties to
+           the lowest group index) — proximate links fail together *)
+        let g = Network.graph net in
+        let mid e =
+          let u, v = Mcgraph.Graph.endpoints g e in
+          let xu, yu = c.(u) and xv, yv = c.(v) in
+          ((xu +. xv) /. 2.0, (yu +. yv) /. 2.0)
+        in
+        let centers =
+          Array.of_list (Rng.sample_without_replacement rng k m)
+        in
+        let center_mid = Array.map mid centers in
+        Array.init m (fun e ->
+            let xe, ye = mid e in
+            let best = ref 0 and bd = ref infinity in
+            Array.iteri
+              (fun i (xc, yc) ->
+                let d = ((xe -. xc) ** 2.0) +. ((ye -. yc) ** 2.0) in
+                if d < !bd then begin
+                  bd := d;
+                  best := i
+                end)
+              center_mid;
+            !best)
+      | None ->
+        (* no embedding (e.g. Rocketfuel): a seeded partition — shuffle
+           the links and deal them round-robin into [k] groups *)
+        let order = Array.init m Fun.id in
+        Rng.shuffle rng order;
+        let group_of = Array.make m 0 in
+        Array.iteri (fun i e -> group_of.(e) <- i mod k) order;
+        group_of
+    in
+    let buckets = Array.make k [] in
+    for e = m - 1 downto 0 do
+      buckets.(assigned.(e)) <- e :: buckets.(assigned.(e))
+    done;
+    Array.of_list (List.filter (fun l -> l <> []) (Array.to_list buckets))
+  end
+
+let srlg_timeline ?heal_after ~rng ~horizon ~events groups =
+  if not (horizon > 0.0) then invalid_arg "Fault.srlg_timeline: horizon <= 0";
+  if events < 0 then invalid_arg "Fault.srlg_timeline: events < 0";
+  (match heal_after with
+  | Some h when not (h > 0.0) ->
+    invalid_arg "Fault.srlg_timeline: heal_after <= 0"
+  | _ -> ());
+  if Array.length groups = 0 then
+    invalid_arg "Fault.srlg_timeline: no groups";
+  let cuts =
+    List.init events (fun _ ->
+        let at = Rng.float rng horizon in
+        let grp = Rng.int rng (Array.length groups) in
+        (at, groups.(grp)))
+  in
+  let failures =
+    List.concat_map
+      (fun (at, links) -> List.map (fun e -> { at; event = Link_down e }) links)
+      cuts
+  in
+  let heals =
+    match heal_after with
+    | None -> []
+    | Some h ->
+      List.concat_map
+        (fun (at, links) ->
+          List.map (fun e -> { at = at +. h; event = Link_up e }) links)
+        cuts
+  in
+  List.stable_sort (fun a b -> compare a.at b.at) (failures @ heals)

@@ -60,6 +60,18 @@ type timed = {
 type schedule = timed list
 (** In firing order: ascending [after], ties in construction order. *)
 
+type stamped = {
+  at : float;  (** fire at this simulation time *)
+  event : event;
+}
+(** One event on a continuous clock — the form the failure-aware
+    dynamic simulator ([Nfv_multicast.Dynamic]) merges into its
+    Poisson arrival/departure queue. Applied through the same
+    {!inject} path as arrival-indexed {!timed} events. *)
+
+type timeline = stamped list
+(** In firing order: ascending [at], ties in construction order. *)
+
 type t
 (** A fault controller over one network: which links/servers are
     currently down and how much capacity each fault confiscated. *)
@@ -131,3 +143,62 @@ val random_schedule :
     All randomness comes from [rng]; the result is sorted by
     [after] with construction order breaking ties. Raises
     [Invalid_argument] when [horizon ≤ 0] or [events < 0]. *)
+
+val random_timeline :
+  ?heal_after:float ->
+  ?degrade_fraction:float ->
+  rng:Topology.Rng.t ->
+  horizon:float ->
+  events:int ->
+  Network.t ->
+  timeline
+(** Time-stamped analogue of {!random_schedule}: the same failure mix
+    (35 % link-down, 20 % server-down, 25 % / 20 % degradations at
+    [degrade_fraction], default [0.5]) with firing times uniform in
+    [0, horizon). With [heal_after:h] (which must be positive), every
+    full outage heals exactly [h] time units later; degradations are
+    permanent. Sorted by [at], construction order breaking ties.
+    Raises [Invalid_argument] when [horizon ≤ 0], [events < 0] or
+    [heal_after ≤ 0]. *)
+
+(** {2 Shared-risk link groups (SRLG)}
+
+    Independent uniform failures miss the regime where repair is
+    weakest: several links cut {e at once} because they share a risk —
+    a conduit, a city, a sea cable. A partition of the links into risk
+    groups turns one drawn failure into a simultaneous multi-edge
+    cut. *)
+
+val srlg_partition :
+  ?groups:int -> rng:Topology.Rng.t -> Network.t -> int list array
+(** Partition the network's links into at most [groups] (default [8])
+    non-empty shared-risk groups, each listing edge ids in increasing
+    order. On a topology with embedded coordinates (e.g. GÉANT), [k]
+    seed links are drawn without replacement and every link joins the
+    seed whose midpoint is nearest (squared Euclidean distance, ties
+    to the lowest group index) — geographically close links share a
+    group. Without coordinates (e.g. Rocketfuel), the links are
+    shuffled and dealt round-robin: a seeded abstract shared-risk
+    partition. Deterministic given [rng]; returns [[||]] on an
+    edgeless network. Raises [Invalid_argument] when [groups ≤ 0]. *)
+
+val srlg_timeline :
+  ?heal_after:float ->
+  rng:Topology.Rng.t ->
+  horizon:float ->
+  events:int ->
+  int list array ->
+  timeline
+(** [srlg_timeline ~rng ~horizon ~events groups] draws [events]
+    correlated cuts: each picks a firing time uniform in [0, horizon)
+    and a group uniform in [groups], and takes {e every} link of that
+    group down at that instant ([Link_down] per member, in group
+    order). With [heal_after:h] each cut's links heal together [h]
+    later. A member already down when a cut fires is a no-op under
+    {!inject}, and an early heal of an overlapping cut revives it —
+    the model trades that edge case for exact confiscation accounting.
+    With singleton groups ([[|[0]; [1]; …|]]) this is exactly the
+    matched independent-failure baseline: the same draw sequence, one
+    link per cut. Sorted by [at], construction order breaking ties.
+    Raises [Invalid_argument] when [horizon ≤ 0], [events < 0],
+    [heal_after ≤ 0] or [groups] is empty. *)

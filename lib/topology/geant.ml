@@ -12,6 +12,23 @@ let cities =
     "Reykjavik";
   |]
 
+(* approximate (longitude, latitude) per PoP, aligned with [cities];
+   the embedding feeds DOT layouts and the SRLG link clustering of
+   Sdn.Fault (links whose midpoints are close share a risk group) *)
+let coords =
+  [|
+    (4.90, 52.37); (23.73, 37.98); (20.46, 44.79); (17.11, 48.15);
+    (4.35, 50.85); (26.10, 44.43); (19.04, 47.50); (12.57, 55.68);
+    (-6.26, 53.35); (8.68, 50.11); (6.14, 46.20); (24.94, 60.17);
+    (28.98, 41.01); (23.90, 54.90); (30.52, 50.45); (-9.14, 38.72);
+    (14.51, 46.06); (-0.13, 51.51); (6.13, 49.61); (-3.70, 40.42);
+    (14.51, 35.90); (9.19, 45.46); (37.62, 55.76); (33.38, 35.17);
+    (10.75, 59.91); (2.35, 48.86); (14.44, 50.08); (24.11, 56.95);
+    (12.50, 41.90); (23.32, 42.70); (18.07, 59.33); (24.75, 59.44);
+    (19.82, 41.33); (16.37, 48.21); (25.28, 54.69); (21.01, 52.23);
+    (15.98, 45.81); (8.54, 47.37); (7.45, 46.95); (-21.94, 64.15);
+  |]
+
 let id name =
   let rec find i =
     if i >= Array.length cities then invalid_arg ("Geant: unknown city " ^ name)
@@ -61,7 +78,8 @@ let links =
 let topology () =
   let g = Mcgraph.Graph.create (Array.length cities) in
   List.iter (fun (a, b) -> ignore (Mcgraph.Graph.add_edge g (id a) (id b))) links;
-  Topo.make ~node_names:(Array.copy cities) ~name:"GEANT" g
+  Topo.make ~coords:(Array.copy coords) ~node_names:(Array.copy cities)
+    ~name:"GEANT" g
 
 (* nine servers at the best-connected PoPs, matching the paper's count *)
 let default_servers =
