@@ -65,16 +65,23 @@ let no_threshold_params net =
   let p = Online_cp.default_params net in
   { p with Online_cp.sigma_v = infinity; sigma_e = infinity }
 
-let decide ?window net algo request =
+(* [srlg] reaches the three Online_cp-family variants as their [?avail]
+   pricing; the SP baseline keeps its own load-oblivious weights (it
+   exists to show what ignoring load costs — ignoring the failure model
+   is the same ablation), so [srlg] does not apply to it. *)
+let decide ?window ?srlg net algo request =
   match algo with
   | Online_cp_no_threshold ->
     let params = no_threshold_params net in
     record_of_cp net request
-      (Online_cp.admit ~mode:`Exponential ~params ?window net request)
+      (Online_cp.admit ~mode:`Exponential ~params ?window ?avail:srlg net
+         request)
   | Online_cp ->
-    record_of_cp net request (Online_cp.admit ~mode:`Exponential ?window net request)
+    record_of_cp net request
+      (Online_cp.admit ~mode:`Exponential ?window ?avail:srlg net request)
   | Online_linear ->
-    record_of_cp net request (Online_cp.admit ~mode:`Linear ?window net request)
+    record_of_cp net request
+      (Online_cp.admit ~mode:`Linear ?window ?avail:srlg net request)
   | Sp -> (
     match Online_sp.admit ?window net request with
     | Online_sp.Admitted a ->
@@ -99,17 +106,21 @@ let decide ?window net algo request =
    shortest-path engines never serve stale distances — a per-run
    [Sp_window] only lets cached trees survive while the epoch stands
    still (request bursts that end in rejection). *)
-let admit_tree ?window net algo request =
+let admit_tree ?window ?srlg net algo request =
   let of_cp = function
     | Online_cp.Admitted a -> Ok a.Online_cp.tree
     | Online_cp.Rejected r -> Error (Online_cp.rejection_to_string r)
   in
   match algo with
-  | Online_cp -> of_cp (Online_cp.admit ~mode:`Exponential ?window net request)
-  | Online_linear -> of_cp (Online_cp.admit ~mode:`Linear ?window net request)
+  | Online_cp ->
+    of_cp (Online_cp.admit ~mode:`Exponential ?window ?avail:srlg net request)
+  | Online_linear ->
+    of_cp (Online_cp.admit ~mode:`Linear ?window ?avail:srlg net request)
   | Online_cp_no_threshold ->
     let params = no_threshold_params net in
-    of_cp (Online_cp.admit ~mode:`Exponential ~params ?window net request)
+    of_cp
+      (Online_cp.admit ~mode:`Exponential ~params ?window ?avail:srlg net
+         request)
   | Sp -> (
     match Online_sp.admit ?window net request with
     | Online_sp.Admitted a -> Ok a.Online_sp.tree
@@ -126,7 +137,7 @@ let publish_run_counters algo ~dijkstras ~sp_hits ~sp_misses ~admitted =
   Obs.Counter.add (Obs.Counter.make (prefix ^ ".sp_misses")) sp_misses;
   Obs.Counter.add (Obs.Counter.make (prefix ^ ".admitted")) admitted
 
-let run ?(reset = true) net algo requests =
+let run ?(reset = true) ?srlg net algo requests =
   if reset then Sdn.Network.reset net;
   let dij0 = Obs.Counter.value c_dijkstra_runs in
   let hits0 = Obs.Counter.value c_sp_hits in
@@ -138,7 +149,7 @@ let run ?(reset = true) net algo requests =
   (* [Obs.clock] (default [Sys.time]) rather than [Sys.time] directly,
      so the determinism tests can substitute a per-domain fake clock *)
   let started = !Obs.clock () in
-  let records = List.map (decide ~window net algo) requests in
+  let records = List.map (decide ~window ?srlg net algo) requests in
   let runtime_s = !Obs.clock () -. started in
   let admitted =
     List.length (List.filter (fun (r : record) -> r.admitted) records)

@@ -43,20 +43,33 @@ type stats = {
   records : record list;           (** in arrival order *)
 }
 
-val run : ?reset:bool -> Sdn.Network.t -> algorithm -> Sdn.Request.t list -> stats
+val run :
+  ?reset:bool ->
+  ?srlg:Online_cp.avail ->
+  Sdn.Network.t ->
+  algorithm ->
+  Sdn.Request.t list ->
+  stats
 (** Process the sequence in order. [reset] (default [true]) restores the
     network's residuals before starting. The whole run shares one
     {!Sp_window}, so consecutive requests that leave the weight epoch
     unchanged (rejections) reuse each other's cached Dijkstra trees;
-    outcomes are identical to per-request engines (see {!Sp_window}). *)
+    outcomes are identical to per-request engines (see {!Sp_window}).
+
+    [srlg] threads an {!Online_cp.avail} (SRLG-exposure surcharge +
+    spare-capacity floor) through every Online_cp-family admit; the
+    [Sp] baseline ignores it (its load-oblivious pricing is the
+    ablation). With [alpha = 0] and no reserve the run is bit-identical
+    to one without [srlg]. *)
 
 val admit_tree :
   ?window:Sp_window.t ->
+  ?srlg:Online_cp.avail ->
   Sdn.Network.t -> algorithm -> Sdn.Request.t -> (Pseudo_tree.t, string) result
 (** Decide one request and return the admitted pseudo-multicast tree (the
     network's residuals are reduced), or the rejection reason. Used by
     the dynamic simulator, which must release the tree's allocation when
-    the request departs. *)
+    the request departs. [srlg] as in {!run}. *)
 
 val admitted_after : stats -> int -> int
 (** Number of admissions among the first [n] arrivals — used to draw the

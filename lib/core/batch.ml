@@ -1,3 +1,9 @@
+module Obs = Nfv_obs.Obs
+
+(* same instrument Online_cp's floor counts under (Counter.make is
+   idempotent per name) *)
+let c_avail_blocked = Obs.Counter.make "avail.reserve_blocked"
+
 type order =
   | Arrival
   | Smallest_first
@@ -42,7 +48,7 @@ let reorder ?k ?window net requests = function
     in
     List.map snd (List.stable_sort (fun (a, _) (b, _) -> compare a b) priced)
 
-let plan ?k ?(reset = true) net requests order =
+let plan ?k ?(reset = true) ?srlg net requests order =
   (* Reset strictly before pricing: Cheapest_first's solves must see the
      idle network, not whatever residuals the previous run left behind
      (they used to run first, making the promised idle-network pricing a
@@ -57,13 +63,43 @@ let plan ?k ?(reset = true) net requests order =
   let ordered = reorder ?k ~window net requests order in
   let admitted = ref 0 and rejected = ref 0 and total = ref 0.0 in
   let trees = ref [] in
+  (* the offline planner prices with Appro_Multi's linear costs, so the
+     exposure surcharge does not apply here; [srlg]'s spare-capacity
+     floor does. [Appro_multi.admit] has already committed the
+     allocation when it returns [Ok], so the floor is checked by
+     unwinding it, re-asking {!Online_cp.reserve_admits} on the restored
+     residuals, and re-committing only when the group keeps its reserve
+     — the unwound re-commit cannot fail (the resources were just
+     released) and a blocked admit leaves no side effect but epoch
+     bumps. *)
+  let floor_blocks alloc =
+    match srlg with
+    | Some av when Online_cp.avail_reserve av > 0.0 ->
+      Sdn.Network.release net alloc;
+      if Online_cp.reserve_admits av net alloc then begin
+        (match Sdn.Network.allocate net alloc with
+        | Ok () -> ()
+        | Error msg ->
+          invalid_arg ("Batch.plan: floor re-commit failed: " ^ msg));
+        false
+      end
+      else begin
+        Obs.Counter.incr c_avail_blocked;
+        true
+      end
+    | _ -> false
+  in
   List.iter
     (fun r ->
       match Appro_multi.admit ?k ~window net r with
       | Ok res ->
-        incr admitted;
-        total := !total +. res.Appro_multi.cost;
-        trees := (r.Sdn.Request.id, res.Appro_multi.tree) :: !trees
+        if floor_blocks (Pseudo_tree.allocation res.Appro_multi.tree) then
+          incr rejected
+        else begin
+          incr admitted;
+          total := !total +. res.Appro_multi.cost;
+          trees := (r.Sdn.Request.id, res.Appro_multi.tree) :: !trees
+        end
       | Error _ -> incr rejected)
     ordered;
   {

@@ -38,15 +38,23 @@ val reorder :
     ({!Dynamic.run}~[faults]). *)
 
 val plan :
-  ?k:int -> ?reset:bool -> Sdn.Network.t -> Sdn.Request.t list -> order ->
-  result
+  ?k:int -> ?reset:bool -> ?srlg:Online_cp.avail -> Sdn.Network.t ->
+  Sdn.Request.t list -> order -> result
 (** Resets the network (unless [reset:false]), reorders the batch, and
     admits greedily with [Appro_Multi_Cap]. The reset happens {e before}
     ordering, so [Cheapest_first] prices against the idle network; with
     [reset:false] ordering and admission both run against the network's
     current residuals (the caller owns that state). The whole plan —
     pricing and admission — shares one {!Sp_window} of cached
-    shortest-path trees. *)
+    shortest-path trees.
+
+    [srlg] applies {!Online_cp.avail}'s spare-capacity floor to every
+    admit: a request whose tree would leave some shared-risk group's
+    pooled residual below [reserve × capacity] is rejected (counted
+    under [avail.reserve_blocked]) and its allocation undone. The
+    exposure {e surcharge} does not apply here — [Appro_Multi_Cap]
+    prices with its own linear costs, not {!Online_cp.link_weight}.
+    With no reserve the plan is bit-identical to one without [srlg]. *)
 
 val compare_orders :
   ?k:int -> Sdn.Network.t -> Sdn.Request.t list -> (order * result) list

@@ -72,7 +72,8 @@ type event =
   | Depart of int
   | Strike of Sdn.Fault.event
 
-let run ?(reset = true) ?faults ?(observe = fun _ _ -> ()) net algo trace =
+let run ?(reset = true) ?faults ?srlg ?(observe = fun _ _ -> ()) net algo trace
+    =
   if reset then Sdn.Network.reset net;
   let fault =
     match faults with
@@ -131,7 +132,7 @@ let run ?(reset = true) ?faults ?(observe = fun _ _ -> ()) net algo trace =
         let vtree = Hashtbl.find live vid in
         Hashtbl.remove live vid;
         match
-          Repair.repair ~budget:cfg.budget ~algo ~window
+          Repair.repair ~budget:cfg.budget ~algo ~window ?avail:srlg
             ~link_down:(Sdn.Fault.link_is_down fault)
             ~server_down:(Sdn.Fault.server_is_down fault)
             net vtree
@@ -161,7 +162,7 @@ let run ?(reset = true) ?faults ?(observe = fun _ _ -> ()) net algo trace =
       List.iter
         (fun (r : Sdn.Request.t) ->
           Obs.Counter.incr c_restore_attempted;
-          match Admission.admit_tree ~window net algo r with
+          match Admission.admit_tree ~window ?srlg net algo r with
           | Ok tree ->
             Obs.Counter.incr c_restore_restored;
             Hashtbl.remove backlog r.Sdn.Request.id;
@@ -181,7 +182,7 @@ let run ?(reset = true) ?faults ?(observe = fun _ _ -> ()) net algo trace =
       (match ev with
       | Arrive a -> (
         let id = a.request.Sdn.Request.id in
-        match Admission.admit_tree ~window net algo a.request with
+        match Admission.admit_tree ~window ?srlg net algo a.request with
         | Ok tree ->
           incr admitted;
           enter id tree;

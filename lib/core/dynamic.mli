@@ -112,6 +112,7 @@ type happened =
 val run :
   ?reset:bool ->
   ?faults:faults ->
+  ?srlg:Online_cp.avail ->
   ?observe:(float -> happened -> unit) ->
   Sdn.Network.t ->
   Admission.algorithm ->
@@ -132,6 +133,17 @@ val run :
     still-live sessions allocated on top of them (plus any
     unhealed confiscations when [faults] fired). [observe] (default a
     no-op) sees every {!happened} with its timestamp, in order.
+
+    [srlg] threads an {!Online_cp.avail} through the whole run:
+    arrivals and restoration re-admissions price links with the
+    SRLG-exposure surcharge and are gated by the spare-capacity floor
+    ({!Admission.admit_tree}~[?srlg]), and every eviction repair
+    searches under the same surcharged weights
+    ({!Repair.repair}~[?avail] — tiers 1–2 are exempt from the floor).
+    Typically built from the same partition the fault timeline cuts,
+    so admission prices the very correlations the simulator will
+    inject. With [alpha = 0] and no reserve the run is bit-identical
+    to one without [srlg].
 
     Telemetry: restoration attempts count under
     [restoration.attempted] with exactly one of

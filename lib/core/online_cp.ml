@@ -23,6 +23,11 @@ let c_rej_unallocatable = Obs.Counter.make "online_cp.rejected.unallocatable"
 let c_pruned = Obs.Counter.make "online_cp.pruned.servers"
 let c_pruned_late = Obs.Counter.make "online_cp.pruned.computed_late"
 
+(* availability-aware pricing: per-epoch exposure recomputations and
+   candidates blocked by the per-group spare-capacity floor *)
+let c_avail_refreshes = Obs.Counter.make "avail.exposure_refreshes"
+let c_avail_blocked = Obs.Counter.make "avail.reserve_blocked"
+
 type params = {
   alpha : float;
   beta : float;
@@ -34,6 +39,152 @@ let default_params net =
   let base = Cost_model.default_base net in
   let sigma = Cost_model.default_sigma net in
   { alpha = base; beta = base; sigma_v = sigma; sigma_e = sigma }
+
+(* ---- availability-aware pricing ----------------------------------------
+
+   An [avail] value carries an SRLG partition (Fault.srlg_partition
+   output, or any disjoint link grouping) and turns it into admission
+   pressure two ways:
+
+   - an exposure surcharge: each link's traversal weight gains
+     [alpha * exposure(group)], where exposure is the allocated fraction
+     of the group's aggregate bandwidth — traffic already riding the
+     shared-risk group. Exposure is derived purely from the network's
+     residuals, so it is a function of [Sdn.Network.weight_epoch]: the
+     per-group cache below is recomputed exactly once per epoch and the
+     surcharged weights stay pure between equal epoch readings, which is
+     what keeps Sp_window's exactness contract intact (the [avail] value
+     is folded into the family key whenever it changes the weights).
+
+   - a spare-capacity floor: with [reserve = r > 0], a candidate whose
+     allocation would leave some touched group's aggregate residual
+     below [r * group capacity] is rejected before it can allocate.
+
+   With [alpha = 0] the surcharge term is never evaluated and the family
+   key is unchanged, so pricing — and every cached engine — is
+   bit-identical to the baseline; with [reserve = 0] the floor never
+   fires. That is the provable-equivalence switch the tests pin. *)
+
+type avail = {
+  av_groups : int array array;   (* normalized non-empty groups *)
+  av_group_of : int array;       (* edge id -> group index, -1 = ungrouped *)
+  av_group_cap : float array;    (* Σ link capacity per group, Mbps *)
+  av_alpha : float;              (* surcharge per unit exposure *)
+  av_reserve : float;            (* spare fraction kept free per group *)
+  av_stamp : int;                (* distinguishes avail values in family keys *)
+  mutable av_epoch : int;        (* epoch the exposure cache is valid at *)
+  av_exposure : float array;     (* allocated fraction per group, in [0, 1] *)
+}
+
+(* family-key uniqueness across domains: Pool workers build their own
+   avail values, so the stamp source must be race-free *)
+let av_stamps = Atomic.make 0
+
+let make_avail ?(alpha = 0.0) ?(reserve = 0.0) net groups =
+  if not (Float.is_finite alpha) || alpha < 0.0 then
+    invalid_arg "Online_cp.make_avail: alpha must be finite and >= 0";
+  if not (reserve >= 0.0 && reserve < 1.0) then
+    invalid_arg "Online_cp.make_avail: reserve outside [0, 1)";
+  let m = Sdn.Network.m net in
+  let group_of = Array.make m (-1) in
+  let nonempty =
+    Array.of_list
+      (List.filter (fun l -> l <> []) (Array.to_list groups))
+  in
+  let groups_arr =
+    Array.mapi
+      (fun gi links ->
+        List.iter
+          (fun e ->
+            if e < 0 || e >= m then
+              invalid_arg "Online_cp.make_avail: edge id out of range";
+            if group_of.(e) >= 0 then
+              invalid_arg "Online_cp.make_avail: edge in two groups";
+            group_of.(e) <- gi)
+          links;
+        Array.of_list links)
+      nonempty
+  in
+  let group_cap =
+    Array.map
+      (Array.fold_left
+         (fun acc e -> acc +. Sdn.Network.link_capacity net e)
+         0.0)
+      groups_arr
+  in
+  {
+    av_groups = groups_arr;
+    av_group_of = group_of;
+    av_group_cap = group_cap;
+    av_alpha = alpha;
+    av_reserve = reserve;
+    av_stamp = Atomic.fetch_and_add av_stamps 1;
+    av_epoch = min_int;
+    av_exposure = Array.make (Array.length groups_arr) 0.0;
+  }
+
+let avail_alpha av = av.av_alpha
+let avail_reserve av = av.av_reserve
+let avail_group_count av = Array.length av.av_groups
+let avail_group_of av e =
+  if e < 0 || e >= Array.length av.av_group_of then -1 else av.av_group_of.(e)
+
+(* allocated fraction of group [gi]'s aggregate bandwidth, from the
+   residuals alone (confiscated capacity counts as exposure: a group
+   with a live fault reads as heavily exposed, which is the right
+   steering signal). Epoch-keyed: all groups refresh together on the
+   first read after any allocate/release/reset. *)
+let exposure av net gi =
+  let epoch = Sdn.Network.weight_epoch net in
+  if av.av_epoch <> epoch then begin
+    Array.iteri
+      (fun i links ->
+        let used =
+          Array.fold_left
+            (fun acc e ->
+              acc
+              +. (Sdn.Network.link_capacity net e
+                 -. Sdn.Network.link_residual net e))
+            0.0 links
+        in
+        av.av_exposure.(i) <-
+          (if av.av_group_cap.(i) > 0.0 then used /. av.av_group_cap.(i)
+           else 0.0))
+      av.av_groups;
+    av.av_epoch <- epoch;
+    Obs.Counter.incr c_avail_refreshes
+  end;
+  av.av_exposure.(gi)
+
+(* would this allocation leave every touched group's aggregate residual
+   at or above its reserve floor? Groups the allocation does not touch
+   cannot move, so only touched groups are summed. The floor comparison
+   carries the usual relative ULP slack so a no-op reserve can never
+   reject on float drift. *)
+let reserve_admits av net (alloc : Sdn.Network.allocation) =
+  if av.av_reserve <= 0.0 then true
+  else begin
+    let extra = Array.make (Array.length av.av_groups) 0.0 in
+    let touched = ref [] in
+    List.iter
+      (fun (e, amt) ->
+        let gi = avail_group_of av e in
+        if gi >= 0 && amt > 0.0 then begin
+          if extra.(gi) = 0.0 then touched := gi :: !touched;
+          extra.(gi) <- extra.(gi) +. amt
+        end)
+      alloc.Sdn.Network.links;
+    List.for_all
+      (fun gi ->
+        let residual =
+          Array.fold_left
+            (fun acc e -> acc +. Sdn.Network.link_residual net e)
+            0.0 av.av_groups.(gi)
+        in
+        let floor = av.av_reserve *. av.av_group_cap.(gi) in
+        residual -. extra.(gi) +. (1e-9 *. Float.max 1.0 floor) >= floor)
+      !touched
+  end
 
 type rejection =
   | No_feasible_server
@@ -104,27 +255,47 @@ let slack x = x +. (1e-9 *. Float.max 1.0 (Float.abs x))
    fewer hops in both modes without affecting the thresholds. *)
 let hop_epsilon = 1e-6
 
-let link_weight ~mode ~params net ~bandwidth e =
+let link_weight ?avail ~mode ~params net ~bandwidth e =
   if not (Sdn.Network.link_admits net e bandwidth) then infinity
   else
-    match mode with
-    | `Exponential -> Cost_model.link_weight net ~base:params.beta e +. hop_epsilon
-    | `Linear -> Cost_model.linear_link_weight net e +. hop_epsilon
+    let base =
+      match mode with
+      | `Exponential -> Cost_model.link_weight net ~base:params.beta e +. hop_epsilon
+      | `Linear -> Cost_model.linear_link_weight net e +. hop_epsilon
+    in
+    (* [alpha = 0] takes the [_] branch: the surcharge term is never
+       evaluated, so the result is the bit-identical baseline weight *)
+    match avail with
+    | Some av when av.av_alpha > 0.0 ->
+      let gi = av.av_group_of.(e) in
+      if gi < 0 then base else base +. (av.av_alpha *. exposure av net gi)
+    | _ -> base
 
 let server_weight ~mode ~params net ~demand v =
   match mode with
   | `Exponential -> Cost_model.server_weight net ~base:params.alpha v
   | `Linear -> Sdn.Network.server_unit_cost net v *. demand
 
-let weight_family ~mode ~params =
-  match mode with
-  | `Exponential ->
-    (* the exponential weights read [beta]; fold its bits into the key
-       so different params never share an engine *)
-    "online_cp.exp:" ^ Int64.to_string (Int64.bits_of_float params.beta)
-  | `Linear -> "online_cp.lin"
+let weight_family ?avail ~mode ~params () =
+  let base =
+    match mode with
+    | `Exponential ->
+      (* the exponential weights read [beta]; fold its bits into the key
+         so different params never share an engine *)
+      "online_cp.exp:" ^ Int64.to_string (Int64.bits_of_float params.beta)
+    | `Linear -> "online_cp.lin"
+  in
+  (* the surcharge changes the weight function iff [alpha > 0]; only
+     then does the family fork (stamp + alpha bits), so zero-alpha
+     admits keep sharing engines with the baseline — the other half of
+     the bit-identity argument above *)
+  match avail with
+  | Some av when av.av_alpha > 0.0 ->
+    Printf.sprintf "%s+avail:%d:%s" base av.av_stamp
+      (Int64.to_string (Int64.bits_of_float av.av_alpha))
+  | _ -> base
 
-let admit_impl ~mode ~params ~window ~prune net request =
+let admit_impl ~mode ~params ~window ~prune ~avail net request =
   let params =
     match params with Some p -> p | None -> default_params net
   in
@@ -132,7 +303,7 @@ let admit_impl ~mode ~params ~window ~prune net request =
   let b = request.Sdn.Request.bandwidth in
   let s = request.Sdn.Request.source in
   let demand = Sdn.Request.demand_mhz request in
-  let link_w e = link_weight ~mode ~params net ~bandwidth:b e in
+  let link_w e = link_weight ?avail ~mode ~params net ~bandwidth:b e in
   let server_w v = server_weight ~mode ~params net ~demand v in
   let thresholds_on = mode = `Exponential in
   let usable =
@@ -152,7 +323,7 @@ let admit_impl ~mode ~params ~window ~prune net request =
     let eng =
       match window with
       | Some w ->
-        let family = weight_family ~mode ~params in
+        let family = weight_family ?avail ~mode ~params () in
         Sp_window.engine w ~family
           ~bucket:(Sp_window.bucket w ~bandwidth:b)
           ~weight:link_w
@@ -273,10 +444,25 @@ let admit_impl ~mode ~params ~window ~prune net request =
               (Pseudo_tree.edge_uses_of_list (c.cand_tree @ c.cand_backtrack))
             ~routes
         in
-        match Sdn.Network.allocate net (Pseudo_tree.allocation tree) with
-        | Ok () ->
-          Some (Admitted { tree; server = v; lca = c.cand_lca; score = c.cand_score })
-        | Error _ -> None
+        let alloc = Pseudo_tree.allocation tree in
+        (* the spare-capacity floor fires before the allocation attempt:
+           a blocked candidate behaves exactly like a failed allocation
+           (no side effects, the select loop moves on), so a run that
+           ends with every candidate blocked is an ordinary
+           [Unallocatable] rejection *)
+        let blocked =
+          match avail with
+          | Some av when not (reserve_admits av net alloc) ->
+            Obs.Counter.incr c_avail_blocked;
+            true
+          | _ -> false
+        in
+        if blocked then None
+        else
+          match Sdn.Network.allocate net alloc with
+          | Ok () ->
+            Some (Admitted { tree; server = v; lca = c.cand_lca; score = c.cand_score })
+          | Error _ -> None
       in
       (* Walk candidates in score order (ties by the historical order,
          see [cand_order]) attempting allocation, materialising deferred
@@ -330,11 +516,12 @@ let admit_impl ~mode ~params ~window ~prune net request =
     end
   end
 
-let admit ?(mode = `Exponential) ?params ?window ?(prune = true) net request =
+let admit ?(mode = `Exponential) ?params ?window ?(prune = true) ?avail net
+    request =
   Obs.Span.run "online_cp.admit" @@ fun () ->
   let runs0 = Obs.Counter.value c_dijkstra_runs in
   let relax0 = Obs.Counter.value c_dijkstra_relax in
-  let outcome = admit_impl ~mode ~params ~window ~prune net request in
+  let outcome = admit_impl ~mode ~params ~window ~prune ~avail net request in
   Obs.Counter.add c_dijkstras (Obs.Counter.value c_dijkstra_runs - runs0);
   Obs.Counter.add c_relaxations (Obs.Counter.value c_dijkstra_relax - relax0);
   (match outcome with

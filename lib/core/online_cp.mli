@@ -43,6 +43,76 @@ type admitted = {
 
 type outcome = Admitted of admitted | Rejected of rejection
 
+(** {1 Availability-aware pricing}
+
+    Admission is otherwise blind to the failure model the dynamic
+    simulator injects: it prices links only by their own residuals, so
+    correlated SRLG cuts land on trees that were routed straight through
+    one shared-risk group. An {!avail} value — built from a
+    {!Sdn.Fault.srlg_partition} (or any disjoint link grouping) — makes
+    the failure model part of the price:
+
+    - {e exposure surcharge}: each grouped link's traversal weight gains
+      [alpha × exposure(group)], where exposure is the allocated
+      fraction of the group's aggregate bandwidth (live traffic already
+      riding the shared-risk group; confiscated capacity counts, so a
+      group with an active fault reads heavily exposed). Exposure is
+      derived from residuals alone and cached per
+      {!Sdn.Network.weight_epoch}, so surcharged weights remain pure
+      between equal epoch readings — {!Sp_window}'s exactness contract
+      survives because {!weight_family} forks the engine family (stamp +
+      [alpha] bits) exactly when the surcharge changes the weights.
+    - {e spare-capacity floor}: with [reserve = r > 0], a candidate tree
+      whose allocation would leave a touched group's aggregate residual
+      below [r × group capacity] is rejected before allocating
+      (telemetry: [avail.reserve_blocked]); a request whose every
+      candidate is blocked rejects as {!Unallocatable}.
+
+    With [alpha = 0] the surcharge term is never evaluated and the
+    family key is unchanged; with [reserve = 0] the floor never fires —
+    admission under such an [avail] is {e bit-identical} to the baseline
+    (equivalence property in [test/test_avail.ml], same pattern as
+    [?prune:false]). The [pruned.*] lower-bound screen stays sound under
+    any [alpha]: the surcharge only adds non-negative per-edge terms, so
+    [dist s v + w_v] under surcharged distances still lower-bounds the
+    surcharged candidate score. *)
+
+type avail
+(** An SRLG-exposure pricing configuration over one network. *)
+
+val make_avail :
+  ?alpha:float ->
+  ?reserve:float ->
+  Sdn.Network.t ->
+  int list array ->
+  avail
+(** [make_avail ~alpha ~reserve net groups] over disjoint link groups
+    (empty groups are dropped; links absent from every group carry no
+    surcharge and no floor). Defaults [alpha = 0.] and [reserve = 0.] —
+    the provably-neutral configuration. Raises [Invalid_argument] when
+    [alpha] is negative or non-finite, [reserve] is outside [0, 1), an
+    edge id is out of range, or an edge appears in two groups. *)
+
+val avail_alpha : avail -> float
+val avail_reserve : avail -> float
+val avail_group_count : avail -> int
+(** Number of (non-empty) groups after normalization. *)
+
+val avail_group_of : avail -> int -> int
+(** Group index of an edge, [-1] for ungrouped or out-of-range ids. *)
+
+val exposure : avail -> Sdn.Network.t -> int -> float
+(** Allocated fraction of a group's aggregate bandwidth, in [[0, 1]]
+    ([Σ (capacity − residual) / Σ capacity] over the group's links).
+    Cached per {!Sdn.Network.weight_epoch}; the first read after an
+    epoch bump refreshes every group (telemetry:
+    [avail.exposure_refreshes]). *)
+
+val reserve_admits : avail -> Sdn.Network.t -> Sdn.Network.allocation -> bool
+(** Whether committing the allocation would keep every touched group's
+    aggregate residual at or above [reserve × group capacity] (with the
+    usual relative ULP slack). Always [true] when [reserve = 0]. *)
+
 (** {1 Pricing surface}
 
     The exact weight model {!admit} prices against, exported so other
@@ -52,6 +122,7 @@ type outcome = Admitted of admitted | Rejected of rejection
     exactness contract lets cached Dijkstra trees flow both ways. *)
 
 val link_weight :
+  ?avail:avail ->
   mode:[ `Exponential | `Linear ] ->
   params:params ->
   Sdn.Network.t ->
@@ -61,9 +132,11 @@ val link_weight :
 (** Traversal weight of one link for a request needing [bandwidth] Mbps:
     [infinity] when the residual cannot admit the bandwidth, otherwise
     the exponential ([β^{1−B_e(k)/B_e} − 1]) or linear unit cost, plus
-    the hop epsilon that breaks zero-load ties toward fewer hops. Reads
-    residual state — pure only between equal {!Sdn.Network.weight_epoch}
-    readings. *)
+    the hop epsilon that breaks zero-load ties toward fewer hops, plus —
+    with [avail] at [alpha > 0] — the exposure surcharge
+    [alpha × exposure(group)] on grouped links. Reads residual state —
+    pure only between equal {!Sdn.Network.weight_epoch} readings (the
+    exposure cache is keyed on the same epoch). *)
 
 val server_weight :
   mode:[ `Exponential | `Linear ] ->
@@ -77,11 +150,19 @@ val server_weight :
     [`Linear] mode). *)
 
 val weight_family :
-  mode:[ `Exponential | `Linear ] -> params:params -> string
+  ?avail:avail ->
+  mode:[ `Exponential | `Linear ] ->
+  params:params ->
+  unit ->
+  string
 (** The {!Sp_window} family key under which {!admit} registers engines
     for {!link_weight} closures with these parameters ([β]'s bits are
     folded into the exponential key, so distinct params never share an
-    engine). *)
+    engine). With [avail] at [alpha > 0] the key additionally carries
+    the avail value's unique stamp and [alpha]'s bits — surcharged
+    closures never share an engine with baseline ones, and two distinct
+    [avail] values never share with each other; at [alpha = 0] the key
+    is the baseline key, because the closures are extensionally equal. *)
 
 val slack : float -> float
 (** [slack x] relaxes a score bound by one part in 10⁹ (ULP drift guard):
@@ -95,6 +176,7 @@ val admit :
   ?params:params ->
   ?window:Sp_window.t ->
   ?prune:bool ->
+  ?avail:avail ->
   Sdn.Network.t ->
   Sdn.Request.t ->
   outcome
@@ -114,4 +196,10 @@ val admit :
     admitted tree, the allocation, and the rejection reason are
     identical with pruning on or off; only the [online_cp.pruned.*]
     telemetry and the amount of work differ. [?prune:false] exists for
-    the equivalence tests and A/B telemetry. *)
+    the equivalence tests and A/B telemetry.
+
+    [?avail] (default: none) enables availability-aware pricing: the
+    exposure surcharge joins the link weights (and the engine family
+    key) and the spare-capacity floor gates each allocation attempt —
+    see the {!avail} section above for the exactness and equivalence
+    guarantees. *)

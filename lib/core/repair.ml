@@ -46,12 +46,12 @@ let pricing_of_algo net = function
   | Admission.Online_linear | Admission.Sp ->
     (`Linear, Online_cp.default_params net)
 
-let repair_engine ?window ~mode ~params net ~bandwidth =
-  let link_w e = Online_cp.link_weight ~mode ~params net ~bandwidth e in
+let repair_engine ?window ?avail ~mode ~params net ~bandwidth =
+  let link_w e = Online_cp.link_weight ?avail ~mode ~params net ~bandwidth e in
   match window with
   | Some w ->
     Sp_window.engine w
-      ~family:(Online_cp.weight_family ~mode ~params)
+      ~family:(Online_cp.weight_family ?avail ~mode ~params ())
       ~bucket:(Sp_window.bucket w ~bandwidth)
       ~weight:link_w
   | None ->
@@ -332,12 +332,12 @@ let try_migrate ~budget ~eng ~mode ~params ~link_down ~server_down net
 (* ---- the escalation ladder -------------------------------------------- *)
 
 let repair ?(budget = default_budget) ?(algo = Admission.Online_cp) ?window
-    ~link_down ~server_down net (victim : Pseudo_tree.t) =
+    ?avail ~link_down ~server_down net (victim : Pseudo_tree.t) =
   Obs.Counter.incr c_attempted;
   let t0 = if !Obs.enabled then !Obs.clock () else 0.0 in
   let mode, params = pricing_of_algo net algo in
   let eng =
-    repair_engine ?window ~mode ~params net
+    repair_engine ?window ?avail ~mode ~params net
       ~bandwidth:victim.Pseudo_tree.request.Sdn.Request.bandwidth
   in
   let patched =
@@ -367,7 +367,7 @@ let repair ?(budget = default_budget) ?(algo = Admission.Online_cp) ?window
         else begin
           let readmitted =
             Obs.Span.run "repair.readmit" @@ fun () ->
-            Admission.admit_tree ?window net algo
+            Admission.admit_tree ?window ?srlg:avail net algo
               victim.Pseudo_tree.request
           in
           match readmitted with

@@ -81,6 +81,7 @@ val repair :
   ?budget:budget ->
   ?algo:Admission.algorithm ->
   ?window:Sp_window.t ->
+  ?avail:Online_cp.avail ->
   link_down:(int -> bool) ->
   server_down:(int -> bool) ->
   Sdn.Network.t ->
@@ -96,4 +97,15 @@ val repair :
     {!Admission.no_threshold_params}). [window] shares shortest-path
     engines with the surrounding admission run — repair registers its
     engines under {!Online_cp.weight_family}, so patching after an
-    admission burst starts from warm Dijkstra trees. *)
+    admission burst starts from warm Dijkstra trees.
+
+    [avail] threads availability-aware pricing through every tier:
+    tiers 1–2 search under the surcharged link weights (and register
+    their engines under the forked family, so they keep sharing with
+    the surrounding availability-aware admission), and tier 3 passes it
+    to {!Admission.admit_tree} — so re-admission is gated by the
+    spare-capacity floor like any fresh admission. Tiers 1–2 allocate
+    directly and are deliberately {e exempt} from the floor: keeping an
+    evicted session alive in place outranks preserving headroom. With
+    [alpha = 0] and no reserve the repair outcomes are bit-identical to
+    the baseline, as for admission. *)

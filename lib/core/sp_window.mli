@@ -22,7 +22,16 @@
       {e other} than bandwidth-feasibility pruning: the algorithm and
       mode, plus any parameter the closure reads (callers embed e.g.
       [Int64.bits_of_float beta] in the string when a numeric parameter
-      scales the weights).
+      scales the weights). Availability-aware pricing follows the same
+      discipline: {!Online_cp.weight_family} appends an
+      ["+avail:<stamp>:<alpha-bits>"] token whenever an
+      {!Online_cp.avail} with [alpha > 0] is in force, so surcharged
+      and baseline weight functions never share an engine, and two
+      distinct partitions (distinct stamps) never alias even at equal
+      [alpha]. The surcharge itself is a per-epoch constant per link
+      (group exposures are recomputed only when the weight epoch
+      bumps), so within one epoch the keyed closure stays extensionally
+      stable — the exactness argument below is unchanged.
     - [bucket] encodes the bandwidth-feasibility pruning itself: weight
       functions price a link at infinity when
       [not (Sdn.Network.link_admits net e b)]. Within one epoch the

@@ -43,7 +43,8 @@ let metrics =
   @ List.map fst tiers
   @ [ "restored"; "restored_frac"; "p50_ms"; "p99_ms" ]
 
-let run_point ~make_net ~srlg ~load ~rate ~rng =
+let run_point ?(alpha = 0.0) ?(reserve = 0.0) ~make_net ~srlg ~load ~rate ~rng
+    () =
   let net = make_net rng in
   let trace = Dyn.poisson_trace rng net ~rate:1.0 ~mean_holding ~count:load in
   let horizon =
@@ -59,11 +60,23 @@ let run_point ~make_net ~srlg ~load ~rate ~rng =
     Fault.srlg_timeline ~heal_after:(horizon /. 4.0) ~rng ~horizon ~events
       groups
   in
+  (* availability-aware pricing over the *same* partition the timeline
+     cuts (for "ind", the matched singleton groups). Building the avail
+     consumes no randomness, and [alpha = 0] with no reserve passes
+     [None], so the baseline point is bit-for-bit the pre-avail run. *)
+  let avail =
+    if alpha > 0.0 || reserve > 0.0 then
+      Some (Nfv_multicast.Online_cp.make_avail ~alpha ~reserve net groups)
+    else None
+  in
   let tier_probes =
     List.map (fun (name, counter) -> (name, Runner.counter_probe counter)) tiers
   in
   let latency = Runner.span_probe "repair.attempt" in
-  let s = Dyn.run ~faults:(Dyn.make_faults timeline) net Adm.Online_cp trace in
+  let s =
+    Dyn.run ?srlg:avail ~faults:(Dyn.make_faults timeline) net Adm.Online_cp
+      trace
+  in
   let tier_counts =
     List.map (fun (name, p) -> (name, Runner.counter_delta p)) tier_probes
   in
@@ -87,32 +100,44 @@ let run_point ~make_net ~srlg ~load ~rate ~rng =
       ("p99_ms", Runner.span_quantile_ms latency 0.99);
     ]
 
+let sweep_key = "dynamic_churn"
+
+(* The canonical point grid: nets × models × loads × rates, in exactly
+   this nesting order. [Avail] re-runs the same grid under non-zero
+   alphas through sweeps sharing [sweep_key], so Pool.point_seed hands
+   each matched point the same RNG — same network, trace, partition and
+   timeline — and only the pricing differs. *)
+let grid requests =
+  let loads = loads_of requests in
+  Array.of_list
+    (List.concat_map
+       (fun (_, _, make_net) ->
+         List.concat_map
+           (fun (_, srlg) ->
+             List.concat_map
+               (fun load ->
+                 List.map (fun rate -> (make_net, srlg, load, rate)) rates)
+               loads)
+           models)
+       nets)
+
+let point_index ~ni ~mi ~li ~ri =
+  let n_rates = List.length rates in
+  let per_model = 2 (* loads *) * n_rates in
+  let per_net = List.length models * per_model in
+  (ni * per_net) + (mi * per_model) + (li * n_rates) + ri
+
 let instance ?(requests = default_requests) () =
   let loads = loads_of requests in
-  let n_rates = List.length rates in
-  let per_model = List.length loads * n_rates in
-  let per_net = List.length models * per_model in
-  let params =
-    Array.of_list
-      (List.concat_map
-         (fun (_, _, make_net) ->
-           List.concat_map
-             (fun (_, srlg) ->
-               List.concat_map
-                 (fun load ->
-                   List.map (fun rate -> (make_net, srlg, load, rate)) rates)
-                 loads)
-             models)
-         nets)
-  in
+  let params = grid requests in
   let sweep =
     {
-      Spec.key = "dynamic_churn";
+      Spec.key = sweep_key;
       points = Array.length params;
       point =
         (fun ~rng i ->
           let make_net, srlg, load, rate = params.(i) in
-          run_point ~make_net ~srlg ~load ~rate ~rng);
+          run_point ~make_net ~srlg ~load ~rate ~rng ());
     }
   in
   let figures =
@@ -144,9 +169,7 @@ let instance ?(requests = default_requests) () =
                                 {
                                   Spec.x = rate;
                                   sweep = 0;
-                                  point =
-                                    (ni * per_net) + (mi * per_model)
-                                    + (li * n_rates) + ri;
+                                  point = point_index ~ni ~mi ~li ~ri;
                                   metric = m;
                                 })
                               rates;

@@ -16,6 +16,68 @@
     latency columns are histogram quantiles, exact under the fake
     clock — every column is byte-identical across [--jobs] settings. *)
 
+(** {1 Grid building blocks}
+
+    Exported for the availability sweep ({!Avail}), which re-runs this
+    exact grid under non-zero exposure surcharges. Keeping one
+    definition of the grid (and running it under {!sweep_key}) is what
+    makes the matched-RNG contract hold: equal sweep key and point
+    index give equal per-point seeds (see [Pool.point_seed]), so an
+    [alpha = 0] avail cell is byte-identical to its dynamic-churn
+    counterpart. *)
+
+val nets : (string * char * (Topology.Rng.t -> Sdn.Network.t)) list
+(** [(name, figure tag, builder)]: GÉANT ('A') and AS1755 ('C'). *)
+
+val models : (string * bool) list
+(** [("ind", false); ("srlg", true)] — whether the fault partition is
+    the seeded SRLG clustering or matched singleton groups. *)
+
+val rates : float list
+(** Failure events per arrival: the sweep's x axis. *)
+
+val default_requests : int
+val mean_holding : float
+val srlg_groups : int
+
+val loads_of : int -> int list
+(** The two offered-load levels for a [--requests] setting: its half,
+    then itself. *)
+
+val metrics : string list
+(** Metric names every point result carries, in column order. *)
+
+val sweep_key : string
+(** ["dynamic_churn"] — the [Pool.point_seed] figure key. Any sweep
+    re-running {!grid} points under this key gets the matched RNGs. *)
+
+val grid :
+  int ->
+  ((Topology.Rng.t -> Sdn.Network.t) * bool * int * float) array
+(** [grid requests] is the canonical point array
+    [(make_net, srlg, load, rate)], nets × models × loads × rates in
+    that nesting order; index with {!point_index}. *)
+
+val point_index : ni:int -> mi:int -> li:int -> ri:int -> int
+(** Flat index of (net, model, load, rate) grid coordinates. *)
+
+val run_point :
+  ?alpha:float ->
+  ?reserve:float ->
+  make_net:(Topology.Rng.t -> Sdn.Network.t) ->
+  srlg:bool ->
+  load:int ->
+  rate:float ->
+  rng:Topology.Rng.t ->
+  unit ->
+  Spec.point_result
+(** One grid point: build the network, trace, partition and timeline
+    from [rng], run [Dynamic.run] and report {!metrics}. [alpha] /
+    [reserve] (defaults [0.]) switch on availability-aware pricing
+    ({!Nfv_multicast.Online_cp.make_avail} over the same partition the
+    timeline cuts); both zero pass no [?srlg] at all, so the point is
+    bit-for-bit the baseline. *)
+
 val spec : Spec.t
 (** Registered as ["dynamic_churn"]; figures [dynchA]/[dynchB] (GÉANT
     independent/SRLG) and [dynchC]/[dynchD] (AS1755 independent/SRLG).

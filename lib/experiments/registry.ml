@@ -16,6 +16,7 @@ let all : Spec.t list =
     Stress.spec;
     Churn.spec;
     Dynamic_churn.spec;
+    Avail.spec;
   ]
 
 let ids = List.map (fun s -> s.Spec.id) all

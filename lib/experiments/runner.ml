@@ -54,7 +54,11 @@ let span_quantile_ms p q =
        Array.iteri
          (fun i c ->
            cum := !cum + c;
-           if float_of_int !cum >= target then begin
+           (* [!cum > 0]: with q = 0 the target is 0 and a bare [>=]
+              would fire on the first bucket even when it is empty,
+              reporting a bound no observation ever fell under; the
+              minimum quantile is the first *non-empty* bucket *)
+           if !cum > 0 && float_of_int !cum >= target then begin
              result :=
                (if i < Array.length bounds then 1000.0 *. bounds.(i)
                 else infinity);

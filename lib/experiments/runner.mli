@@ -60,10 +60,14 @@ val span_quantile_ms : span_probe -> float -> float
     milliseconds, of the observations recorded since the probe was
     created, at the histogram's bucket resolution — the upper bound of
     the first bucket at which the cumulative delta count reaches
-    [q × total], mirroring [Obs.Histogram.quantile] on the delta. [0.]
-    when nothing was recorded; [infinity] when the quantile lands in the
-    overflow bucket (legitimately rendered as [inf] in CSV). Source of
-    the churn tables' p50/p99 repair-latency columns. *)
+    [q × total], mirroring [Obs.Histogram.quantile] on the delta, with
+    the proviso that an empty bucket never carries the quantile: at
+    [q = 0] the answer is the first {e non-empty} bucket's bound, not
+    [bounds.(0)]. [0.] when nothing was recorded (any [q]); with a
+    single observation every [q] reports that observation's bucket
+    bound; [infinity] when the quantile lands in the overflow bucket
+    (legitimately rendered as [inf] in CSV). Source of the churn
+    tables' p50/p99 repair-latency columns. *)
 
 type counter_probe
 

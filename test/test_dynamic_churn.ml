@@ -195,6 +195,59 @@ let test_dropped_session_departure_is_noop () =
   Tutil.assert_close "server residual exact" (N.server_capacity net 2)
     (N.server_residual net 2)
 
+(* ---- restoration order is deterministic under ties ----------------------
+   Two identical sessions (equal Smallest_first footprint) are both
+   dropped by a server failure; the heal's restoration pass must
+   re-admit them in request-id order. The backlog lives in a hashtable,
+   so without the explicit pre-sort before [Batch.reorder] the fold
+   order (hence the tie order the stable sort preserves) would be
+   whatever the table's bucket layout happens to be. *)
+let test_restoration_order_on_ties () =
+  let net, _ = designed_net () in
+  let trace =
+    [
+      {
+        Dyn.at = 1.0;
+        holding = 100.0;
+        request = mk_request ~id:0 ~source:0 ~destinations:[ 3 ] ~bandwidth:10.0;
+      };
+      {
+        Dyn.at = 2.0;
+        holding = 100.0;
+        request = mk_request ~id:1 ~source:0 ~destinations:[ 3 ] ~bandwidth:10.0;
+      };
+    ]
+  in
+  let timeline =
+    [
+      { Fault.at = 4.0; event = Fault.Server_down 2 };
+      { Fault.at = 6.0; event = Fault.Server_up 2 };
+    ]
+  in
+  let seen = ref [] in
+  let observe t h = seen := (t, h) :: !seen in
+  let s =
+    Dyn.run ~faults:(Dyn.make_faults timeline) ~observe net Adm.Online_cp trace
+  in
+  Alcotest.(check (list string))
+    "tied backlog entries restore in request-id order"
+    [
+      "1 arrived 0 admitted";
+      "2 arrived 1 admitted";
+      "4 fault server_down:2 victims=[0;1]";
+      "4 dropped 0";
+      "4 dropped 1";
+      "6 fault server_up:2 victims=[]";
+      "6 restored 0";
+      "6 restored 1";
+      "101 departed 0 released";
+      "102 departed 1 released";
+    ]
+    (List.rev_map describe !seen);
+  Alcotest.(check int) "both dropped" 2 s.Dyn.dropped;
+  Alcotest.(check int) "both restored" 2 s.Dyn.restored;
+  Alcotest.(check int) "both completed" 2 s.Dyn.completed
+
 (* ---- fault-free bit-identity -------------------------------------------
    Without faults the simulator must report exactly what the pre-fault
    simulator did: same queue construction, same admissions, same
@@ -299,6 +352,67 @@ let test_srlg_partition_geant () =
   in
   let groups2 = Fault.srlg_partition ~groups:8 ~rng:rng2 net2 in
   Alcotest.(check bool) "same seed, same partition" true (groups = groups2)
+
+(* edge cases of the partition generator: more groups than links, a
+   single group, a two-link network, an edgeless network — none may
+   produce an empty group or raise past the documented
+   [Invalid_argument] on [groups <= 0] *)
+let two_link_net () =
+  let g = G.create 3 in
+  let e0 = G.add_edge g 0 1 in
+  let e1 = G.add_edge g 1 2 in
+  ignore (e0, e1);
+  let topo = Topology.Topo.make ~name:"two-link" g in
+  N.make_explicit ~topology:topo
+    ~servers:[ (1, 100.0, 1.0) ]
+    ~link_capacities:(Array.make (G.m g) 100.0)
+    ~link_unit_costs:(Array.make (G.m g) 1.0) ()
+
+let check_partition ~m groups =
+  Array.iter
+    (fun g -> Alcotest.(check bool) "no empty group" true (g <> []))
+    groups;
+  let all = Array.to_list groups |> List.concat |> List.sort compare in
+  Alcotest.(check (list int)) "partition covers every edge exactly once"
+    (List.init m Fun.id) all
+
+let test_srlg_partition_edge_cases () =
+  (* round-robin branch (no coordinates): groups > |E| clamps to |E| *)
+  let net = two_link_net () in
+  let groups = Fault.srlg_partition ~groups:5 ~rng:(Rng.create 1) net in
+  Alcotest.(check int) "two links, five requested: two groups" 2
+    (Array.length groups);
+  check_partition ~m:2 groups;
+  (* a single group holds every edge *)
+  let one = Fault.srlg_partition ~groups:1 ~rng:(Rng.create 1) net in
+  Alcotest.(check int) "one group" 1 (Array.length one);
+  Alcotest.(check (list int)) "the group is all edges" [ 0; 1 ] one.(0);
+  (* geometric branch (GEANT coordinates): groups > |E| clamps too *)
+  let rng = Rng.create 11 in
+  let gnet =
+    Sdn.Network.make_random_servers ~fraction:0.2 ~rng
+      (Topology.Geant.topology ())
+  in
+  let m = N.m gnet in
+  let big = Fault.srlg_partition ~groups:(m + 10) ~rng gnet in
+  Alcotest.(check bool) "at most |E| groups" true (Array.length big <= m);
+  check_partition ~m big;
+  (* an edgeless network partitions into nothing *)
+  let g0 = G.create 1 in
+  let empty_net =
+    N.make_explicit
+      ~topology:(Topology.Topo.make ~name:"edgeless" g0)
+      ~servers:[ (0, 1.0, 1.0) ]
+      ~link_capacities:[||] ~link_unit_costs:[||] ()
+  in
+  Alcotest.(check int) "edgeless network: no groups" 0
+    (Array.length (Fault.srlg_partition ~groups:4 ~rng:(Rng.create 1) empty_net));
+  (* the documented failure mode, and the only one *)
+  Alcotest.(check bool) "groups <= 0 raises Invalid_argument" true
+    (try
+       ignore (Fault.srlg_partition ~groups:0 ~rng:(Rng.create 1) net);
+       false
+     with Invalid_argument _ -> true)
 
 let test_srlg_timeline_shape () =
   let rng = Rng.create 5 in
@@ -452,8 +566,12 @@ let () =
             test_designed_trace;
           Alcotest.test_case "dropped session departure is a no-op" `Quick
             test_dropped_session_departure_is_noop;
+          Alcotest.test_case "restoration order is id-sorted under ties" `Quick
+            test_restoration_order_on_ties;
           Alcotest.test_case "SRLG partition on GEANT coordinates" `Quick
             test_srlg_partition_geant;
+          Alcotest.test_case "SRLG partition edge cases" `Quick
+            test_srlg_partition_edge_cases;
           Alcotest.test_case "SRLG timeline shape" `Quick
             test_srlg_timeline_shape;
         ] );

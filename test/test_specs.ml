@@ -13,7 +13,7 @@ module Runner = Experiments.Runner
 let expected_ids =
   [
     "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "ablation"; "dynamic"; "batch";
-    "delay"; "tables"; "stress"; "churn"; "dynamic_churn";
+    "delay"; "tables"; "stress"; "churn"; "dynamic_churn"; "avail";
   ]
 
 let test_registry_ids () =
@@ -119,6 +119,65 @@ let test_span_probe_exact () =
   Alcotest.(check (float 0.0))
     "busy span mean is exactly 5 ticks" (1000.0 *. 5.0 *. tick)
     (Runner.span_mean_ms q)
+
+(* [span_quantile_ms] on degenerate delta histograms: an empty probe is
+   0 at every q, a single observation answers every q with its own
+   bucket bound, and q = 0 reports the first *non-empty* bucket — not
+   [bounds.(0)] (the regression: cum = 0 satisfies >= 0). *)
+let test_span_quantile_edges () =
+  Obs.enabled := true;
+  Fun.protect ~finally:(fun () -> Obs.enabled := false) @@ fun () ->
+  let h = Obs.Histogram.make "test_specs.quantile" in
+  (* empty: every q, including the endpoints, is 0 *)
+  let p = Runner.span_probe "test_specs.quantile" in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "empty probe: q=%g is 0" q)
+        0.0
+        (Runner.span_quantile_ms p q))
+    [ 0.0; 0.5; 1.0 ];
+  (* one observation in the 1e-3 bucket: every q reports its bound *)
+  let p1 = Runner.span_probe "test_specs.quantile" in
+  Obs.Histogram.observe h 0.5e-3;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "single sample: q=%g is the sample's bound" q)
+        1.0
+        (Runner.span_quantile_ms p1 q))
+    [ 0.0; 0.5; 1.0 ];
+  (* two samples in distinct buckets: q=0 and the median report the
+     lower bucket (NOT the histogram's first bound, 0.001 ms), q=1 the
+     upper *)
+  let p2 = Runner.span_probe "test_specs.quantile" in
+  Obs.Histogram.observe h 0.5e-3;
+  Obs.Histogram.observe h 0.5e-1;
+  Alcotest.(check (float 0.0))
+    "two samples: q=0 is the first non-empty bucket" 1.0
+    (Runner.span_quantile_ms p2 0.0);
+  Alcotest.(check (float 0.0))
+    "two samples: median is the lower bucket" 1.0
+    (Runner.span_quantile_ms p2 0.5);
+  Alcotest.(check (float 0.0))
+    "two samples: q=1 is the upper bucket" 100.0
+    (Runner.span_quantile_ms p2 1.0);
+  (* overflow lands at infinity; out-of-range q raises *)
+  let p3 = Runner.span_probe "test_specs.quantile" in
+  Obs.Histogram.observe h 100.0;
+  Alcotest.(check (float 0.0))
+    "overflow bucket: q=1 is infinity" infinity
+    (Runner.span_quantile_ms p3 1.0);
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%g raises" q)
+        true
+        (try
+           ignore (Runner.span_quantile_ms p3 q);
+           false
+         with Invalid_argument _ -> true))
+    [ -0.1; 1.5 ]
 
 (* The real thing: a designed network where the solver's span histogram
    is the only timing source. The ms column published by the probe must
@@ -250,6 +309,8 @@ let () =
       ( "timing",
         [
           Alcotest.test_case "span probe exact" `Quick test_span_probe_exact;
+          Alcotest.test_case "span quantile edge cases" `Quick
+            test_span_quantile_edges;
           Alcotest.test_case "designed-net ms column" `Quick
             test_designed_net_ms;
         ] );
