@@ -66,24 +66,18 @@ let plan ?k ?(reset = true) ?srlg net requests order =
   (* the offline planner prices with Appro_Multi's linear costs, so the
      exposure surcharge does not apply here; [srlg]'s spare-capacity
      floor does. [Appro_multi.admit] has already committed the
-     allocation when it returns [Ok], so the floor is checked by
-     unwinding it, re-asking {!Online_cp.reserve_admits} on the restored
-     residuals, and re-committing only when the group keeps its reserve
-     — the unwound re-commit cannot fail (the resources were just
-     released) and a blocked admit leaves no side effect but epoch
-     bumps. *)
+     allocation when it returns [Ok], so the floor is asked on the
+     committed residuals ({!Online_cp.reserve_admits_after}) and the
+     allocation only released on an actual block — a passing floor
+     touches nothing, so it cannot bump the weight epoch or flush the
+     plan's Sp_window engines (the old release / check / re-commit
+     dance churned the epoch twice per admitted request). *)
   let floor_blocks alloc =
     match srlg with
     | Some av when Online_cp.avail_reserve av > 0.0 ->
-      Sdn.Network.release net alloc;
-      if Online_cp.reserve_admits av net alloc then begin
-        (match Sdn.Network.allocate net alloc with
-        | Ok () -> ()
-        | Error msg ->
-          invalid_arg ("Batch.plan: floor re-commit failed: " ^ msg));
-        false
-      end
+      if Online_cp.reserve_admits_after av net alloc then false
       else begin
+        Sdn.Network.release net alloc;
         Obs.Counter.incr c_avail_blocked;
         true
       end
@@ -111,7 +105,20 @@ let plan ?k ?(reset = true) ?srlg net requests order =
     trees = List.rev !trees;
   }
 
-let compare_orders ?k net requests =
+let compare_orders ?k ?(reset = true) ?srlg net requests =
+  (* [?srlg]/[?reset] used to be dropped on the floor here, so the
+     comparison could not express the availability floor [plan]
+     supports. With [reset:false] every order must still start from the
+     caller's residuals, so each plan's admitted trees are released
+     again before the next order runs (exact up to float round-off —
+     release returns precisely the amounts allocate subtracted, in the
+     same per-link aggregation). *)
   List.map
-    (fun o -> (o, plan ?k net requests o))
+    (fun o ->
+      let r = plan ?k ~reset ?srlg net requests o in
+      if not reset then
+        List.iter
+          (fun (_, t) -> Sdn.Network.release net (Pseudo_tree.allocation t))
+          r.trees;
+      (o, r))
     [ Arrival; Smallest_first; Largest_first; Cheapest_first ]

@@ -15,6 +15,11 @@ type order =
 
 val order_to_string : order -> string
 
+val footprint : Sdn.Request.t -> float
+(** [bandwidth × terminal count] — the ordering key of
+    [Smallest_first]/[Largest_first], and {!Restore}'s knapsack
+    weight. *)
+
 type result = {
   order : order;
   admitted : int;
@@ -57,5 +62,13 @@ val plan :
     With no reserve the plan is bit-identical to one without [srlg]. *)
 
 val compare_orders :
-  ?k:int -> Sdn.Network.t -> Sdn.Request.t list -> (order * result) list
-(** [plan] under every ordering policy, each from a fresh network. *)
+  ?k:int -> ?reset:bool -> ?srlg:Online_cp.avail -> Sdn.Network.t ->
+  Sdn.Request.t list -> (order * result) list
+(** {!plan} under every ordering policy, threading [reset] and [srlg]
+    through each (they used to be silently dropped, so the comparison
+    could not express the availability floor). With the default
+    [reset:true] each plan starts from a fresh network; with
+    [reset:false] each plan runs against the caller's residuals and its
+    admitted trees are released again afterwards, so every order sees
+    the same starting state and the network ends where it began (up to
+    float round-off). *)

@@ -52,11 +52,11 @@ type faults = {
   timeline : Sdn.Fault.timeline;
   controller : Sdn.Fault.t option;
   budget : Repair.budget;
-  restore : Batch.order option;
+  restore : Restore.t option;
 }
 
 let make_faults ?controller ?(budget = Repair.default_budget)
-    ?(restore = Some Batch.Smallest_first) timeline =
+    ?(restore = Some Restore.default) timeline =
   { timeline; controller; budget; restore }
 
 type happened =
@@ -101,6 +101,10 @@ let run ?(reset = true) ?faults ?srlg ?(observe = fun _ _ -> ()) net algo trace
      backlog); both keyed by request id, which must be distinct *)
   let live : (int, Pseudo_tree.t) Hashtbl.t = Hashtbl.create 64 in
   let backlog : (int, Sdn.Request.t) Hashtbl.t = Hashtbl.create 16 in
+  (* scheduled natural departure time per admitted session; kept while
+     the session sits in the restoration backlog so deadline-aware
+     policies can read remaining lifetimes, retired at departure *)
+  let depart_of : (int, float) Hashtbl.t = Hashtbl.create 64 in
   let last_time = ref 0.0 in
   let conc_integral = ref 0.0 and util_integral = ref 0.0 in
   let step now =
@@ -118,8 +122,47 @@ let run ?(reset = true) ?faults ?srlg ?(observe = fun _ _ -> ()) net algo trace
     Hashtbl.fold (fun id tree acc -> (id, tree) :: acc) live []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
+  (* one proactive re-admission pass over the dropped backlog, in the
+     policy's order. [returned] is the trigger's estimate of the
+     bandwidth it just gave back (only knapsack policies read it). The
+     span only opens on a nonempty backlog, exactly like the historical
+     hard-coded pass. *)
+  let restore_pass now (rcfg : Restore.t) ~returned =
+    if Hashtbl.length backlog > 0 then
+      Obs.Span.run "restoration.pass" @@ fun () ->
+      let entries =
+        Hashtbl.fold
+          (fun id r acc ->
+            {
+              Restore.request = r;
+              depart_at =
+                Option.value ~default:infinity (Hashtbl.find_opt depart_of id);
+            }
+            :: acc)
+          backlog []
+      in
+      List.iter
+        (fun (r : Sdn.Request.t) ->
+          Obs.Counter.incr c_restore_attempted;
+          match Admission.admit_tree ~window ?srlg net algo r with
+          | Ok tree ->
+            Obs.Counter.incr c_restore_restored;
+            Hashtbl.remove backlog r.Sdn.Request.id;
+            incr restored;
+            enter r.Sdn.Request.id tree;
+            observe now (Restored { id = r.Sdn.Request.id; tree })
+          | Error _ -> Obs.Counter.incr c_restore_failed)
+        (Restore.select ~window ~returned net rcfg entries)
+  in
   let strike now ev =
     let fault = Option.get fault and cfg = Option.get faults in
+    (* the heal's returned-bandwidth estimate must be read before
+       [inject] clears the confiscation ledger *)
+    let returned =
+      match ev with
+      | Sdn.Fault.Link_up e -> Sdn.Fault.confiscated_link fault e
+      | _ -> 0.0
+    in
     let holders = sorted_live () in
     let allocations =
       List.map (fun (id, t) -> (id, Pseudo_tree.allocation t)) holders
@@ -148,29 +191,11 @@ let run ?(reset = true) ?faults ?srlg ?(observe = fun _ _ -> ()) net algo trace
           observe now (Dropped { id = vid }))
       victims;
     (* a heal returns capacity: proactively re-admit the dropped backlog
-       in the chosen batch order (each survivor keeps its original
-       departure time, still scheduled in the queue) *)
+       under the run's restoration policy (each survivor keeps its
+       original departure time, still scheduled in the queue) *)
     match (ev, cfg.restore) with
-    | (Sdn.Fault.Link_up _ | Sdn.Fault.Server_up _), Some order
-      when Hashtbl.length backlog > 0 ->
-      Obs.Span.run "restoration.pass" @@ fun () ->
-      let pending =
-        Hashtbl.fold (fun id r acc -> (id, r) :: acc) backlog []
-        |> List.sort (fun (a, _) (b, _) -> compare a b)
-        |> List.map snd
-      in
-      List.iter
-        (fun (r : Sdn.Request.t) ->
-          Obs.Counter.incr c_restore_attempted;
-          match Admission.admit_tree ~window ?srlg net algo r with
-          | Ok tree ->
-            Obs.Counter.incr c_restore_restored;
-            Hashtbl.remove backlog r.Sdn.Request.id;
-            incr restored;
-            enter r.Sdn.Request.id tree;
-            observe now (Restored { id = r.Sdn.Request.id; tree })
-          | Error _ -> Obs.Counter.incr c_restore_failed)
-        (Batch.reorder ~window net pending order)
+    | (Sdn.Fault.Link_up _ | Sdn.Fault.Server_up _), Some rcfg ->
+      restore_pass now rcfg ~returned
     | _ -> ()
   in
   let rec drain () =
@@ -186,6 +211,7 @@ let run ?(reset = true) ?faults ?srlg ?(observe = fun _ _ -> ()) net algo trace
         | Ok tree ->
           incr admitted;
           enter id tree;
+          Hashtbl.replace depart_of id (now +. a.holding);
           q := Pq.insert !q (now +. a.holding) (Depart id);
           observe now (Arrived { id; tree = Some tree })
         | Error _ ->
@@ -197,17 +223,33 @@ let run ?(reset = true) ?faults ?srlg ?(observe = fun _ _ -> ()) net algo trace
           (* release reprices every load-dependent weight; it bumps the
              network's weight epoch, so the next arrival's shortest-path
              engine cannot serve trees computed under the old prices *)
-          Sdn.Network.release net (Pseudo_tree.allocation tree);
+          let alloc = Pseudo_tree.allocation tree in
+          Sdn.Network.release net alloc;
           Hashtbl.remove live id;
+          Hashtbl.remove depart_of id;
           decr concurrent;
           incr completed;
-          observe now (Departed { id; released = true })
+          observe now (Departed { id; released = true });
+          (* a departure returns capacity too: under [Heal_or_depart]
+             it triggers the same restoration pass a heal would, with
+             the departed session's link bandwidth as the returned
+             estimate *)
+          (match faults with
+          | Some { restore = Some rcfg; _ } when Restore.on_depart rcfg ->
+            let returned =
+              List.fold_left
+                (fun acc (_, amt) -> acc +. amt)
+                0.0 alloc.Sdn.Network.links
+            in
+            restore_pass now rcfg ~returned
+          | _ -> ())
         | None ->
           (* evicted by a fault and never restored: its allocation was
              already released at eviction, so there is nothing to give
              back (releasing again would double-free); its lifetime is
              over, so it also leaves the restoration backlog *)
           Hashtbl.remove backlog id;
+          Hashtbl.remove depart_of id;
           observe now (Departed { id; released = false }))
       | Strike ev -> strike now ev);
       drain ()

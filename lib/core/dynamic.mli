@@ -18,11 +18,12 @@
     under the run's pricing algorithm. A session no tier can restore is
     {e dropped}: it keeps no resources, but its request stays in a
     restoration backlog until its natural departure time passes. When a
-    heal ([Link_up]/[Server_up]) returns capacity, a proactive
-    restoration pass re-admits the backlog through one of
-    {!Batch.order}'s policies (default [Smallest_first]) — the
-    recoverable tail is measured, not lost. Restored sessions keep
-    their original departure times.
+    heal ([Link_up]/[Server_up]) returns capacity — or, under a
+    {!Restore.Heal_or_depart} trigger, when a live session departs — a
+    proactive restoration pass re-admits the backlog in the order a
+    {!Restore.t} policy chooses (default: the historical
+    [Smallest_first] replay) — the recoverable tail is measured, not
+    lost. Restored sessions keep their original departure times.
 
     A dropped session's departure event still fires; it is a no-op on
     the network (the allocation was already released at eviction — no
@@ -78,19 +79,20 @@ type faults = {
           to inspect confiscations afterwards (or to start from
           pre-existing faults). *)
   budget : Repair.budget;  (** per-eviction repair effort *)
-  restore : Batch.order option;
-      (** ordering policy for the heal-triggered restoration pass;
+  restore : Restore.t option;
+      (** selection policy and trigger set for the restoration pass;
           [None] disables proactive restoration (reactive repair only) *)
 }
 
 val make_faults :
   ?controller:Sdn.Fault.t ->
   ?budget:Repair.budget ->
-  ?restore:Batch.order option ->
+  ?restore:Restore.t option ->
   Sdn.Fault.timeline ->
   faults
-(** Defaults: fresh controller, {!Repair.default_budget}, restoration
-    in [Some Batch.Smallest_first] order. *)
+(** Defaults: fresh controller, {!Repair.default_budget},
+    [Some Restore.default] — the smallest-first heal-only pass,
+    bit-identical to the pre-policy simulator. *)
 
 (** What one merged event did — the observation stream for tests and
     tracing. Events fire in simulation order; a fault's eviction
@@ -144,6 +146,15 @@ val run :
     so admission prices the very correlations the simulator will
     inject. With [alpha = 0] and no reserve the run is bit-identical
     to one without [srlg].
+
+    Restoration passes run under [faults.restore]'s {!Restore.t}:
+    {!Restore.select} orders the backlog (the knapsack policies read a
+    returned-bandwidth estimate — a healed link's confiscation, a
+    departing session's summed link allocation, [0.] for [Server_up])
+    and each candidate is re-attempted through
+    {!Admission.admit_tree}. With the default policy the pass — trigger
+    set, order, counters and span — is bit-identical to the historical
+    hard-coded smallest-first pass (pinned in [test/test_restore.ml]).
 
     Telemetry: restoration attempts count under
     [restoration.attempted] with exactly one of

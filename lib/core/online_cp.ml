@@ -186,6 +186,38 @@ let reserve_admits av net (alloc : Sdn.Network.allocation) =
       !touched
   end
 
+(* the committed-view twin of [reserve_admits]: the allocation already
+   sits on the network, so the touched groups' residuals are read as
+   they stand — no hypothetical subtraction. Callers holding a freshly
+   committed allocation (Batch.plan's floor) can ask this directly
+   instead of release / check / re-allocate, which bumped the weight
+   epoch twice and flushed every Sp_window engine even when the floor
+   passed. *)
+let reserve_admits_after av net (alloc : Sdn.Network.allocation) =
+  if av.av_reserve <= 0.0 then true
+  else begin
+    let seen = Array.make (Array.length av.av_groups) false in
+    let touched = ref [] in
+    List.iter
+      (fun (e, amt) ->
+        let gi = avail_group_of av e in
+        if gi >= 0 && amt > 0.0 && not seen.(gi) then begin
+          seen.(gi) <- true;
+          touched := gi :: !touched
+        end)
+      alloc.Sdn.Network.links;
+    List.for_all
+      (fun gi ->
+        let residual =
+          Array.fold_left
+            (fun acc e -> acc +. Sdn.Network.link_residual net e)
+            0.0 av.av_groups.(gi)
+        in
+        let floor = av.av_reserve *. av.av_group_cap.(gi) in
+        residual +. (1e-9 *. Float.max 1.0 floor) >= floor)
+      !touched
+  end
+
 type rejection =
   | No_feasible_server
   | Unreachable

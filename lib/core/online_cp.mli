@@ -113,6 +113,16 @@ val reserve_admits : avail -> Sdn.Network.t -> Sdn.Network.allocation -> bool
     aggregate residual at or above [reserve × group capacity] (with the
     usual relative ULP slack). Always [true] when [reserve = 0]. *)
 
+val reserve_admits_after :
+  avail -> Sdn.Network.t -> Sdn.Network.allocation -> bool
+(** The committed-view twin of {!reserve_admits}: the allocation is
+    {e already} on the network, and the touched groups' residuals are
+    checked as they stand (same floor, same ULP slack). Lets a caller
+    that has just allocated test the floor without releasing and
+    re-committing — the release/re-allocate dance bumps the weight
+    epoch twice and flushes every {!Sp_window} engine even when the
+    floor passes. Always [true] when [reserve = 0]. *)
+
 (** {1 Pricing surface}
 
     The exact weight model {!admit} prices against, exported so other

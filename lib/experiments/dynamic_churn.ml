@@ -24,6 +24,7 @@ let models = [ ("ind", false); ("srlg", true) ]
 let rates = [ 0.05; 0.1; 0.2 ]
 let default_requests = 400
 let mean_holding = 25.0
+let mean_holding_default = mean_holding
 let srlg_groups = 8
 
 (* two load levels per (topology, model): --requests and its half, so
@@ -43,8 +44,9 @@ let metrics =
   @ List.map fst tiers
   @ [ "restored"; "restored_frac"; "p50_ms"; "p99_ms" ]
 
-let run_point ?(alpha = 0.0) ?(reserve = 0.0) ~make_net ~srlg ~load ~rate ~rng
-    () =
+let run_point ?(alpha = 0.0) ?(reserve = 0.0) ?restore ?mean_holding
+    ?(heal_div = 4.0) ~make_net ~srlg ~load ~rate ~rng () =
+  let mean_holding = Option.value ~default:mean_holding_default mean_holding in
   let net = make_net rng in
   let trace = Dyn.poisson_trace rng net ~rate:1.0 ~mean_holding ~count:load in
   let horizon =
@@ -57,7 +59,7 @@ let run_point ?(alpha = 0.0) ?(reserve = 0.0) ~make_net ~srlg ~load ~rate ~rng
   in
   let events = int_of_float (Float.round (rate *. float_of_int load)) in
   let timeline =
-    Fault.srlg_timeline ~heal_after:(horizon /. 4.0) ~rng ~horizon ~events
+    Fault.srlg_timeline ~heal_after:(horizon /. heal_div) ~rng ~horizon ~events
       groups
   in
   (* availability-aware pricing over the *same* partition the timeline
@@ -73,10 +75,15 @@ let run_point ?(alpha = 0.0) ?(reserve = 0.0) ~make_net ~srlg ~load ~rate ~rng
     List.map (fun (name, counter) -> (name, Runner.counter_probe counter)) tiers
   in
   let latency = Runner.span_probe "repair.attempt" in
-  let s =
-    Dyn.run ?srlg:avail ~faults:(Dyn.make_faults timeline) net Adm.Online_cp
-      trace
+  (* [restore] swaps the restoration policy of the pass; [None] keeps
+     make_faults' default (the historical smallest-first heal-only
+     pass), so baseline points are bit-for-bit the pre-policy run *)
+  let faults =
+    match restore with
+    | None -> Dyn.make_faults timeline
+    | Some policy -> Dyn.make_faults ~restore:(Some policy) timeline
   in
+  let s = Dyn.run ?srlg:avail ~faults net Adm.Online_cp trace in
   let tier_counts =
     List.map (fun (name, p) -> (name, Runner.counter_delta p)) tier_probes
   in

@@ -64,6 +64,9 @@ val point_index : ni:int -> mi:int -> li:int -> ri:int -> int
 val run_point :
   ?alpha:float ->
   ?reserve:float ->
+  ?restore:Nfv_multicast.Restore.t ->
+  ?mean_holding:float ->
+  ?heal_div:float ->
   make_net:(Topology.Rng.t -> Sdn.Network.t) ->
   srlg:bool ->
   load:int ->
@@ -76,7 +79,15 @@ val run_point :
     [reserve] (defaults [0.]) switch on availability-aware pricing
     ({!Nfv_multicast.Online_cp.make_avail} over the same partition the
     timeline cuts); both zero pass no [?srlg] at all, so the point is
-    bit-for-bit the baseline. *)
+    bit-for-bit the baseline. [restore] swaps the restoration policy of
+    the simulator's backlog pass (omitted: the default smallest-first
+    heal-only pass, again bit-for-bit the baseline) — the {!Restore}
+    family's treatment lever. [mean_holding] (default {!mean_holding})
+    and [heal_div] (outages heal [horizon / heal_div] after striking;
+    default [4.]) reshape the holding-time-vs-outage-length ratio —
+    the {!Restore} family's stressed cells lengthen holdings and
+    shorten outages so dropped sessions are still live at heal time
+    and the returned capacity is contended. *)
 
 val spec : Spec.t
 (** Registered as ["dynamic_churn"]; figures [dynchA]/[dynchB] (GÉANT

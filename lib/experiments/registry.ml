@@ -17,6 +17,7 @@ let all : Spec.t list =
     Churn.spec;
     Dynamic_churn.spec;
     Avail.spec;
+    Restore.spec;
   ]
 
 let ids = List.map (fun s -> s.Spec.id) all

@@ -1,0 +1,41 @@
+(** Restoration policy sweep: {!Dynamic_churn}'s grid re-run under
+    pluggable backlog selection ({!Nfv_multicast.Restore}), one sweep
+    per policy. All sweeps share {!Dynamic_churn.sweep_key}, so matched
+    points across policies (and across this family and [dynamic_churn]
+    itself) get identical per-point RNGs — identical networks, traces,
+    partitions and fault timelines; the restored-fraction differences
+    are pure policy, not capacity. The first sweep is the default
+    policy (smallest-first replay at heals), byte-identical to the
+    dynamic-churn baseline.
+
+    On the canonical grid the mean holding time (25) is far below the
+    outage length (horizon/4), so dropped sessions expire before their
+    capacity returns and every policy restores the same set — the
+    policy columns tie. Each sweep therefore also carries {e stressed}
+    GEANT cells, appended after the canonical indices: full offered
+    load, mean holding of half the horizon, outages healing after
+    horizon/8, so the sessions a cut drops are still live at its heal
+    and the returned capacity is contended. Those are the cells where
+    the knapsack and deadline policies separate from the replays. *)
+
+val policies : Nfv_multicast.Restore.t list
+(** One sweep each: the default smallest-first replay first, then the
+    other three order replays, knapsack by volume and by price,
+    deadline-aware, and knapsack-priced with the depart trigger. *)
+
+val metrics : string list
+(** Tabulated per point: acceptance, restored count, restored fraction
+    of drops, the restoration ledger ([attempted]/[failed] deltas, with
+    attempted = restored + failed), and p50/p99 of the
+    [restoration.pass] span histogram. *)
+
+val spec : Spec.t
+(** Registered as ["restore"]; figures [restoreA]/[restoreB] (GÉANT
+    independent/SRLG) and [restoreC]/[restoreD] (AS1755
+    independent/SRLG), mirroring [dynchA]–[dynchD]. X is the failure
+    rate; series are [<metric>@<policy>@<load>], plus
+    [<metric>@<policy>@stressed] on the GÉANT figures for the
+    contended heal-time cells. *)
+
+val run : ?seed:int -> ?requests:int -> unit -> Exp_common.figure list
+(** Convenience wrapper: run the spec's instance directly. *)

@@ -1,6 +1,15 @@
 module B = Nfv_multicast.Batch
 module N = Sdn.Network
+module Cp = Nfv_multicast.Online_cp
+module G = Mcgraph.Graph
 module Rng = Topology.Rng
+module Obs = Nfv_obs.Obs
+
+let with_obs f =
+  Obs.enabled := true;
+  Fun.protect ~finally:(fun () -> Obs.enabled := false) f
+
+let counter name = Obs.Counter.value (Obs.Counter.make name)
 
 let mk seed count =
   let rng = Rng.create seed in
@@ -114,6 +123,125 @@ let test_plan_deterministic_across_twins () =
   Alcotest.check fingerprint_t
     "twin networks, twin plans" (plan_fingerprint r1) (plan_fingerprint r2)
 
+(* --- the availability floor in plan and compare_orders ------------------ *)
+
+(* the 6-node designed net of test_dynamic_churn: one server (node 2),
+   six 100-Mbps links, so one SRLG group over every edge pools 600 Mbps *)
+let designed_net () =
+  let g = G.create 6 in
+  ignore (G.add_edge g 0 1);
+  ignore (G.add_edge g 1 2);
+  ignore (G.add_edge g 2 3);
+  ignore (G.add_edge g 1 4);
+  ignore (G.add_edge g 4 3);
+  ignore (G.add_edge g 4 5);
+  let topo = Topology.Topo.make ~name:"batch-net" g in
+  N.make_explicit ~topology:topo
+    ~servers:[ (2, 1000.0, 1.0) ]
+    ~link_capacities:(Array.make (G.m g) 100.0)
+    ~link_unit_costs:(Array.make (G.m g) 1.0) ()
+
+let mk_request ~id ~bandwidth =
+  Sdn.Request.make ~id ~source:0 ~destinations:[ 3 ] ~bandwidth
+    ~chain:[ Sdn.Vnf.Firewall ]
+
+(* [floor_blocks] used to release and re-commit every admitted
+   allocation whenever reserve > 0 — two extra weight-epoch bumps per
+   admit, flushing every Sp_window engine even though the floor passed.
+   A plan whose floor never blocks must now leave the same epoch trail
+   and the same shortest-path cache hit/miss profile as a plan with no
+   [srlg] at all. *)
+let test_passing_floor_no_epoch_churn () =
+  with_obs @@ fun () ->
+  let reqs =
+    List.map (fun id -> mk_request ~id ~bandwidth:5.0) [ 0; 1; 2 ]
+  in
+  (* reserve 0.1 on the 600-Mbps group: three 15-Mbps trees leave 555,
+     far above the 60-Mbps floor — every admit passes *)
+  let run srlg =
+    let net = designed_net () in
+    let srlg =
+      if srlg then
+        Some (Cp.make_avail ~reserve:0.1 net [| List.init (N.m net) Fun.id |])
+      else None
+    in
+    let e0 = N.weight_epoch net in
+    let h0 = counter "sp_engine.cache_hits" in
+    let m0 = counter "sp_engine.cache_misses" in
+    let r = B.plan ?srlg net reqs B.Arrival in
+    ( r.B.admitted,
+      N.weight_epoch net - e0,
+      counter "sp_engine.cache_hits" - h0,
+      counter "sp_engine.cache_misses" - m0 )
+  in
+  let admitted, epochs, hits, misses = run false in
+  let admitted', epochs', hits', misses' = run true in
+  Alcotest.(check int) "baseline admits all" 3 admitted;
+  Alcotest.(check int) "floored plan admits the same" admitted admitted';
+  Alcotest.(check int) "a passing floor adds no epoch bumps" epochs epochs';
+  Alcotest.(check int) "same shortest-path cache hits" hits hits';
+  Alcotest.(check int) "same shortest-path cache misses" misses misses'
+
+(* compare_orders used to silently drop [?srlg]: the floor could never
+   flip an order's outcome. With a 480-Mbps floor on the 600-Mbps
+   group, a 40-Mbps tree (120 Mbps over 3 links) lands exactly on the
+   floor, after which nothing else fits — so largest-first admits only
+   the big request while smallest-first packs both small ones first. *)
+let test_compare_orders_floor_flips_an_order () =
+  let reqs =
+    [
+      mk_request ~id:0 ~bandwidth:40.0;
+      mk_request ~id:1 ~bandwidth:10.0;
+      mk_request ~id:2 ~bandwidth:10.0;
+    ]
+  in
+  let net = designed_net () in
+  let admitted order results =
+    let r = List.assq order results in
+    r.B.admitted
+  in
+  (* without the floor every order admits everything *)
+  let free = B.compare_orders net reqs in
+  List.iter
+    (fun (_, (r : B.result)) ->
+      Alcotest.(check int) "no floor: all admitted" 3 r.B.admitted)
+    free;
+  let tight =
+    Cp.make_avail ~reserve:0.8 net [| List.init (N.m net) Fun.id |]
+  in
+  let floored = B.compare_orders ~srlg:tight net reqs in
+  Alcotest.(check int) "smallest-first packs the two small requests" 2
+    (admitted B.Smallest_first floored);
+  Alcotest.(check int) "largest-first lands on the floor and stops" 1
+    (admitted B.Largest_first floored)
+
+(* with [reset:false] every order must start from the caller's
+   residuals — and leave them back in place afterwards *)
+let test_compare_orders_reset_false () =
+  let net = designed_net () in
+  (* drain the only edge out of the source: nothing can be admitted *)
+  (match N.allocate net { N.links = [ (0, 95.0) ]; nodes = [] } with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "drain: %s" e);
+  let before = Array.init (N.m net) (N.link_residual net) in
+  let reqs = [ mk_request ~id:0 ~bandwidth:10.0 ] in
+  let starved = B.compare_orders ~reset:false net reqs in
+  List.iter
+    (fun (_, (r : B.result)) ->
+      Alcotest.(check int) "reset:false sees the drained residuals" 0
+        r.B.admitted)
+    starved;
+  for e = 0 to N.m net - 1 do
+    Tutil.assert_close "caller residuals restored after the comparison"
+      before.(e) (N.link_residual net e)
+  done;
+  (* the default still resets: every order admits on the fresh net *)
+  let fresh = B.compare_orders net reqs in
+  List.iter
+    (fun (_, (r : B.result)) ->
+      Alcotest.(check int) "reset:true admits" 1 r.B.admitted)
+    fresh
+
 (* the packing-order advantage is statistical, not per-draw: aggregate
    over several fixed seeds *)
 let test_smallest_beats_largest_in_aggregate () =
@@ -148,6 +276,12 @@ let () =
             test_reset_false_plans_against_residuals;
           Alcotest.test_case "deterministic across twins" `Quick
             test_plan_deterministic_across_twins;
+          Alcotest.test_case "passing floor adds no epoch churn" `Quick
+            test_passing_floor_no_epoch_churn;
+          Alcotest.test_case "compare_orders threads the floor" `Quick
+            test_compare_orders_floor_flips_an_order;
+          Alcotest.test_case "compare_orders reset:false" `Quick
+            test_compare_orders_reset_false;
         ] );
       ( "statistical",
         [

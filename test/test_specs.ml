@@ -13,7 +13,7 @@ module Runner = Experiments.Runner
 let expected_ids =
   [
     "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "ablation"; "dynamic"; "batch";
-    "delay"; "tables"; "stress"; "churn"; "dynamic_churn"; "avail";
+    "delay"; "tables"; "stress"; "churn"; "dynamic_churn"; "avail"; "restore";
   ]
 
 let test_registry_ids () =
